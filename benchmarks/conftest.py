@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table of the paper gets its own benchmark module; they share one
+scaled-down run of the full optimization flow (synthetic dataset, reduced
+epoch budgets) through the session-scoped fixtures below, so the whole
+benchmark suite completes in minutes on a laptop CPU while preserving the
+relative trends the paper reports.
+
+Results are printed and also written to ``benchmarks/results/*.txt`` so they
+can be inspected after the run (pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_linaige
+from repro.flow import FlowConfig, OptimizationFlow
+from repro.nas.search import SearchConfig
+from repro.quant import QATConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, lines) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """Synthetic LINAIGE at ~10% of the full size (fast but non-trivial)."""
+    return generate_linaige(seed=42, scale=0.10)
+
+
+@pytest.fixture(scope="session")
+def bench_flow_config():
+    """Scaled-down flow configuration shared by the figure benchmarks."""
+    return FlowConfig(
+        lambdas=(1e-5, 1e-4, 1e-3),
+        nas_cost="params",
+        search=SearchConfig(
+            warmup_epochs=1,
+            search_epochs=4,
+            finetune_epochs=4,
+            batch_size=128,
+            theta_learning_rate=5e-2,
+        ),
+        qat=QATConfig(epochs=3, batch_size=128),
+        majority_window=5,
+        max_quantized_architectures=2,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def flow_result(bench_dataset, bench_flow_config):
+    """One full run of the optimization flow (NAS -> QAT -> majority voting).
+
+    The seed is a scaled version of the paper's largest configuration (32
+    instead of 64 channels) to keep the numpy training tractable; the flow
+    structure is identical.
+    """
+    flow = OptimizationFlow(bench_flow_config)
+    return flow.run(
+        bench_dataset, test_session_id=2, seed_channels=(32, 32), seed_hidden=32
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_test_frames(bench_dataset, flow_result):
+    """Preprocessed frames of the held-out session, for deployment runs."""
+    session = bench_dataset.session(2)
+    return flow_result.preprocessor(session.frames), session.labels

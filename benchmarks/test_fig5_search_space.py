@@ -1,0 +1,95 @@
+"""Fig. 5 — Architecture and precision search-space exploration.
+
+Regenerates the figure's data: the seed point (blue star), the FLOAT32 PIT
+Pareto front obtained by sweeping the regularization strength (grey curve),
+and the mixed-precision fronts (coloured circles), all in the Balanced
+Accuracy vs memory plane.  Also reports the memory / MAC reduction factors
+w.r.t. the seed at iso-BAS quoted in Sec. IV-B.
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.flow import pareto_front, points_from
+
+
+def _series(flow_result):
+    lines = ["# Fig. 5 — BAS vs memory [kB] search-space exploration", ""]
+    seed_bas, seed_memory, seed_macs = flow_result.seed_point
+    lines.append(f"seed (FLOAT32): bas={seed_bas:.3f} memory={seed_memory / 1024:.2f} kB macs={seed_macs}")
+
+    lines.append("")
+    lines.append("FLOAT32 PIT front (lambda sweep):")
+    for point in flow_result.float_points:
+        lines.append(
+            f"  lambda={point.strength:<8g} bas={point.bas:.3f} "
+            f"memory={point.memory_kb:6.2f} kB macs={point.macs:>8} arch="
+            + "-".join(str(u["out"]) for u in point.arch_summary)
+        )
+
+    lines.append("")
+    lines.append("Mixed-precision QAT points (per scheme):")
+    by_scheme = {}
+    for qp in flow_result.quantized_points:
+        by_scheme.setdefault(qp.scheme.label, []).append(qp)
+    for label in sorted(by_scheme):
+        for qp in sorted(by_scheme[label], key=lambda p: p.memory_bytes):
+            lines.append(
+                f"  {label:<14} bas={qp.bas:.3f} memory={qp.memory_kb:6.2f} kB macs={qp.macs:>8}"
+            )
+
+    # Reduction factors vs the seed at iso-BAS (Sec. IV-B style numbers).
+    quant_front = pareto_front(
+        points_from(
+            flow_result.quantized_points,
+            score=lambda p: p.bas,
+            cost=lambda p: p.memory_bytes,
+        )
+    )
+    float_front = pareto_front(
+        points_from(
+            flow_result.float_points,
+            score=lambda p: p.bas,
+            cost=lambda p: float(p.params) * 4.0,
+        )
+    )
+    lines.append("")
+    best_float = max(flow_result.float_points, key=lambda p: p.bas)
+    eligible_float = [p for p in flow_result.float_points if p.bas >= seed_bas - 0.02]
+    if eligible_float:
+        smallest = min(eligible_float, key=lambda p: p.params)
+        lines.append(
+            "FLOAT32 NAS vs seed at ~iso-BAS: "
+            f"memory x{seed_memory / (smallest.params * 4):.1f} reduction, "
+            f"MACs x{seed_macs / max(smallest.macs, 1):.1f} reduction"
+        )
+    eligible_quant = [p for p in flow_result.quantized_points if p.bas >= seed_bas - 0.02]
+    if eligible_quant:
+        smallest_q = min(eligible_quant, key=lambda p: p.memory_bytes)
+        lines.append(
+            "Quantized flow vs seed at ~iso-BAS: "
+            f"memory x{seed_memory / smallest_q.memory_bytes:.1f} reduction, "
+            f"MACs x{seed_macs / max(smallest_q.macs, 1):.1f} reduction"
+        )
+    lines.append(
+        f"front sizes: float={len(float_front)} quantized={len(quant_front)} "
+        f"(quantized extends the float front toward lower memory)"
+    )
+    return lines
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_search_space(benchmark, flow_result):
+    lines = benchmark.pedantic(lambda: _series(flow_result), rounds=1, iterations=1)
+    save_result("fig5_search_space", lines)
+
+    # Shape checks mirroring the paper's qualitative claims.
+    seed_bas, seed_memory, _ = flow_result.seed_point
+    assert flow_result.float_points, "the lambda sweep produced no architectures"
+    assert min(p.params * 4 for p in flow_result.float_points) < seed_memory, (
+        "the NAS never produced a model smaller than the seed"
+    )
+    assert min(p.memory_bytes for p in flow_result.quantized_points) < min(
+        p.params * 4.0 for p in flow_result.float_points
+    ), "quantization did not extend the front below the FLOAT32 models"

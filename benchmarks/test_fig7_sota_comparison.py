@@ -1,0 +1,107 @@
+"""Fig. 7 — comparison against the hand-tuned state of the art ([4]).
+
+Trains the manual coarse-grid baseline of [4] (uniform INT8 deployment) with
+the same data and training harness, and compares its BAS-vs-memory and
+BAS-vs-MACs fronts against the fronts produced by the automated flow,
+reporting the iso-accuracy reduction factors the paper quotes (up to 4.2x
+memory and 2.9-3.3x MACs).
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.flow import (
+    MANUAL_GRID,
+    pareto_front,
+    points_from,
+    reduction_factor,
+    train_manual_baseline,
+)
+from repro.nn import ArrayDataset, TrainConfig
+
+
+def _run(flow_result, bench_dataset):
+    # Rebuild the same train/test split used by the flow.
+    test_session = bench_dataset.session(2)
+    import numpy as np
+
+    train_frames = np.concatenate(
+        [s.frames for s in bench_dataset.sessions if s.session_id != 2]
+    )
+    train_labels = np.concatenate(
+        [s.labels for s in bench_dataset.sessions if s.session_id != 2]
+    )
+    pre = flow_result.preprocessor
+    train_set = ArrayDataset(pre(train_frames), train_labels)
+    test_set = ArrayDataset(pre(test_session.frames), test_session.labels)
+
+    baseline = train_manual_baseline(
+        train_set,
+        test_set,
+        grid=MANUAL_GRID[:5],
+        config=TrainConfig(epochs=6, batch_size=128),
+        seed=1,
+    )
+
+    lines = ["# Fig. 7 — comparison with the hand-tuned SotA baseline [4]", ""]
+    lines.append("Manual baseline (uniform INT8 deployment):")
+    for p in baseline:
+        lines.append(
+            f"  {str(p.conv_channels):<10} fc={p.hidden_features:<3} "
+            f"memory={p.memory_kb:6.2f} kB macs={p.macs:>8} bas={p.bas:.3f}"
+        )
+    lines.append("")
+    lines.append("Our flow (NAS + mixed precision + majority voting):")
+    for fp in sorted(flow_result.flow_points, key=lambda p: p.memory_bytes):
+        lines.append(
+            f"  {fp.scheme.label:<14} memory={fp.memory_kb:6.2f} kB "
+            f"macs={fp.macs:>8} bas={fp.bas_majority:.3f}"
+        )
+
+    ours_memory = points_from(
+        flow_result.flow_points,
+        score=lambda p: p.bas_majority,
+        cost=lambda p: p.memory_bytes,
+    )
+    ref_memory = points_from(
+        baseline, score=lambda p: p.bas, cost=lambda p: p.memory_bytes_int8
+    )
+    ours_macs = points_from(
+        flow_result.flow_points, score=lambda p: p.bas_majority, cost=lambda p: float(p.macs)
+    )
+    ref_macs = points_from(baseline, score=lambda p: p.bas, cost=lambda p: float(p.macs))
+
+    best_ref_bas = max(p.bas for p in baseline)
+    floor = best_ref_bas - 0.05
+    mem_factor = reduction_factor(pareto_front(ours_memory), pareto_front(ref_memory), floor)
+    macs_factor = reduction_factor(pareto_front(ours_macs), pareto_front(ref_macs), floor)
+    lines.append("")
+    lines.append(f"iso-accuracy floor (best baseline BAS - 5%): {floor:.3f}")
+    lines.append(
+        f"memory reduction vs manual baseline at iso-BAS: "
+        f"x{mem_factor:.2f}" if mem_factor else "memory reduction: n/a"
+    )
+    lines.append(
+        f"MACs reduction vs manual baseline at iso-BAS: "
+        f"x{macs_factor:.2f}" if macs_factor else "MACs reduction: n/a"
+    )
+    lines.append("(paper: up to 4.2x memory and 2.9x MACs at iso-accuracy)")
+    return lines, baseline, mem_factor
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_sota_comparison(benchmark, flow_result, bench_dataset):
+    lines, baseline, mem_factor = benchmark.pedantic(
+        lambda: _run(flow_result, bench_dataset), rounds=1, iterations=1
+    )
+    save_result("fig7_sota_comparison", lines)
+
+    assert baseline, "the manual baseline grid produced no points"
+    # Shape check: the automated flow reaches comparable accuracy with less
+    # memory than the manual baseline (the paper's headline claim).
+    best_ours = max(p.bas_majority for p in flow_result.flow_points)
+    best_ref = max(p.bas for p in baseline)
+    assert best_ours >= best_ref - 0.10
+    if mem_factor is not None:
+        assert mem_factor > 1.0

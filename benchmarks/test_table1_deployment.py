@@ -1,0 +1,105 @@
+"""Table I — embedded deployment of the Top / -5% / Mini models.
+
+Selects, from the flow's final Pareto set, the top-scoring model, the
+smallest model within 5% BAS of it, and the smallest model overall — the
+same selection rule as the paper — and deploys each on the three platforms:
+
+* STM32L4R5 + X-CUBE-AI (analytical model, 8-bit only),
+* vanilla IBEX (scalar kernels on the ISA simulator),
+* MAUPITI (SDOTP kernels on the ISA simulator).
+
+Reports Code [B], Data [B] and Energy [uJ] per inference, plus the
+reduction factors the paper highlights.  The ISA-simulated programs are
+verified bit-exact against the integer golden model before measuring.
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.deploy import compile_network, report_on_stm32, verify_against_golden
+from repro.hw import ibex_platform, maupiti_platform
+from repro.quant import convert_to_integer
+
+
+def _deploy_one(label, flow_point, frames):
+    inet = convert_to_integer(flow_point.quantized.model)
+    rows = []
+    stm32 = report_on_stm32(inet)
+    rows.append((label, stm32))
+    for platform in (ibex_platform(), maupiti_platform()):
+        compiled = compile_network(
+            inet,
+            use_sdotp=platform.spec.supports_sdotp,
+            code_overhead_bytes=platform.spec.code_overhead_bytes,
+        )
+        batch = verify_against_golden(platform, compiled, inet, frames)
+        cycles = int(batch.mean_cycles)
+        from repro.deploy import PlatformReport
+
+        rows.append(
+            (
+                label,
+                PlatformReport(
+                    platform=platform.spec.name,
+                    code_bytes=compiled.code_size_bytes,
+                    data_bytes=compiled.data_size_bytes,
+                    cycles=cycles,
+                    latency_ms=platform.spec.cycles_to_seconds(cycles) * 1e3,
+                    energy_uj=platform.spec.energy_per_inference_uj(cycles),
+                ),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_deployment(benchmark, flow_result, bench_test_frames):
+    frames, _labels = bench_test_frames
+    eval_frames = frames[:3]
+
+    selection = {
+        "Top": flow_result.select_top(),
+        "-5%": flow_result.select_minus5(),
+        "Mini": flow_result.select_mini(),
+    }
+
+    def run():
+        all_rows = []
+        for label, fp in selection.items():
+            all_rows.extend(_deploy_one(label, fp, eval_frames))
+        return all_rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["# Table I — deployment results (Code [B], Data [B], Energy [uJ])", ""]
+    lines.append(f"{'model':<6} {'platform':<8} {'code B':>8} {'data B':>8} {'cycles':>10} {'energy uJ':>10}")
+    per_model = {}
+    for label, entry in rows:
+        per_model.setdefault(label, {})[entry.platform] = entry
+        lines.append(
+            f"{label:<6} {entry.platform:<8} {entry.code_bytes:>8} {entry.data_bytes:>8} "
+            f"{entry.cycles:>10.0f} {entry.energy_uj:>10.3f}"
+        )
+    lines.append("")
+    for label, entries in per_model.items():
+        code_red = entries["STM32"].code_bytes / entries["MAUPITI"].code_bytes
+        data_red = entries["STM32"].data_bytes / entries["MAUPITI"].data_bytes
+        energy_vs_ibex = 1 - entries["MAUPITI"].energy_uj / entries["IBEX"].energy_uj
+        lines.append(
+            f"{label:<6}: code x{code_red:5.1f} and data x{data_red:4.1f} smaller than STM32; "
+            f"MAUPITI saves {energy_vs_ibex * 100:4.1f}% energy vs vanilla IBEX"
+        )
+    lines.append("(paper: up to 6.78x code / 20.22x data vs STM32, up to 17.9% energy vs IBEX;")
+    lines.append(" all ISA-simulated results verified bit-exact against the integer golden model)")
+    save_result("table1_deployment", lines)
+
+    # Qualitative shape assertions matching the paper.
+    for label, entries in per_model.items():
+        assert entries["MAUPITI"].code_bytes < entries["STM32"].code_bytes / 4
+        assert entries["MAUPITI"].data_bytes < entries["STM32"].data_bytes
+        assert entries["MAUPITI"].energy_uj < entries["IBEX"].energy_uj
+        assert entries["STM32"].latency_ms < entries["MAUPITI"].latency_ms
+        # Everything fits the 16 kB + 16 kB on-chip memories.
+        assert entries["MAUPITI"].code_bytes <= 16 * 1024
+        assert entries["MAUPITI"].data_bytes <= 16 * 1024

@@ -1,0 +1,78 @@
+"""Architecture and precision search (a scaled-down version of Fig. 5).
+
+Runs the PIT mask-based DNAS for a few regularization strengths, then
+explores INT4/INT8 mixed-precision quantization of the discovered
+architectures, printing the accuracy / memory / MACs trade-off of every
+point and the resulting Pareto front.
+
+Run with:  python examples/nas_and_quantization.py
+"""
+
+import numpy as np
+
+from repro.datasets import generate_linaige
+from repro.flow import Preprocessor, pareto_front, points_from, seed_builder
+from repro.nas import SearchConfig, run_search
+from repro.nn import ArrayDataset
+from repro.quant import QATConfig, explore_mixed_precision
+
+
+def main() -> None:
+    dataset = generate_linaige(seed=0, scale=0.12)
+    test_session = dataset.session(2)
+    train_frames = np.concatenate(
+        [s.frames for s in dataset.sessions if s.session_id != 2]
+    )
+    train_labels = np.concatenate(
+        [s.labels for s in dataset.sessions if s.session_id != 2]
+    )
+    pre = Preprocessor.fit(train_frames)
+    train_set = ArrayDataset(pre(train_frames), train_labels)
+    test_set = ArrayDataset(pre(test_session.frames), test_session.labels)
+
+    # --- Stage 1: PIT architecture search (lambda sweep). -------------------
+    search_config = SearchConfig(
+        lambdas=(1e-5, 1e-4, 1e-3),
+        cost="params",
+        warmup_epochs=1,
+        search_epochs=4,
+        finetune_epochs=4,
+        batch_size=128,
+    )
+    print("=== Architecture search (PIT, lambda sweep) ===")
+    architectures = run_search(
+        seed_builder((32, 32), 32), train_set, test_set, config=search_config, seed=0
+    )
+    for point in architectures:
+        print("  " + point.describe())
+
+    # --- Stage 2: mixed-precision quantization of the best architecture. ----
+    front = pareto_front(
+        points_from(architectures, score=lambda p: p.bas, cost=lambda p: float(p.params))
+    )
+    best = front[-1].payload  # the most accurate Pareto-optimal architecture
+    print(f"\n=== Mixed-precision exploration of: {best.describe()} ===")
+    quantized = explore_mixed_precision(
+        best.model,
+        train_set,
+        test_set,
+        config=QATConfig(epochs=3, batch_size=128),
+        seed=0,
+    )
+    for point in quantized:
+        print("  " + point.describe())
+
+    # --- Global Pareto front in the BAS vs memory plane. ---------------------
+    merged = pareto_front(
+        points_from(
+            quantized, score=lambda p: p.bas, cost=lambda p: p.memory_bytes,
+            label=lambda p: p.scheme.label,
+        )
+    )
+    print("\n=== Pareto-optimal quantized models (BAS vs memory) ===")
+    for point in merged:
+        print(f"  {point.label:<14} bas={point.score:.3f} memory={point.cost / 1024:.2f} kB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "HW-SW Optimization of DNNs for Privacy-Preserving
+People Counting on Low-Resolution Infrared Arrays" (DATE 2024).
+
+Sub-packages
+------------
+``repro.nn``
+    Numpy-based DNN training framework (layers, losses, optimizers, metrics).
+``repro.datasets``
+    Synthetic LINAIGE-compatible 8x8 infrared dataset and transforms.
+``repro.nas``
+    PIT mask-based differentiable architecture search.
+``repro.quant``
+    INT4/INT8 mixed-precision quantization-aware training and integer lowering.
+``repro.postproc``
+    Sliding-window majority-voting post-processing.
+``repro.hw``
+    MAUPITI smart-sensor platform: RV32IM+SDOTP ISA simulator, memories,
+    sensor and energy models.
+``repro.deploy``
+    Deployment toolchain: kernels/code generation, runtime, STM32 baseline,
+    Table-I reports.
+``repro.flow``
+    End-to-end flow orchestration, Pareto utilities and the manual baseline.
+"""
+
+from . import datasets, deploy, flow, hw, nas, nn, postproc, quant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "datasets",
+    "nas",
+    "quant",
+    "postproc",
+    "hw",
+    "deploy",
+    "flow",
+    "__version__",
+]

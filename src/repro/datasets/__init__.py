@@ -1,0 +1,24 @@
+"""Datasets: the synthetic LINAIGE generator and input transforms."""
+
+from .linaige import (
+    FRAME_SIZE,
+    NUM_CLASSES,
+    LinaigeDataset,
+    Session,
+    default_class_weights,
+    generate_linaige,
+)
+from .transforms import MinMaxNormalizer, Standardizer, ambient_removal, stack_frames
+
+__all__ = [
+    "FRAME_SIZE",
+    "NUM_CLASSES",
+    "LinaigeDataset",
+    "Session",
+    "generate_linaige",
+    "default_class_weights",
+    "Standardizer",
+    "MinMaxNormalizer",
+    "ambient_removal",
+    "stack_frames",
+]

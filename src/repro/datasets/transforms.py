@@ -1,0 +1,89 @@
+"""Input pre-processing transforms for IR frames."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class Standardizer:
+    """Zero-mean / unit-variance standardization fitted on training data.
+
+    The statistics are computed globally (a single mean and std over all
+    pixels of the training frames), matching how the paper pre-processes the
+    single-channel thermal input before the first convolution.
+    """
+
+    mean: float = 0.0
+    std: float = 1.0
+
+    @classmethod
+    def fit(cls, frames: np.ndarray) -> "Standardizer":
+        frames = np.asarray(frames, dtype=np.float64)
+        std = float(frames.std())
+        if std < 1e-12:
+            std = 1.0
+        return cls(mean=float(frames.mean()), std=std)
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        return (np.asarray(frames, dtype=np.float64) - self.mean) / self.std
+
+    def inverse(self, frames: np.ndarray) -> np.ndarray:
+        return np.asarray(frames, dtype=np.float64) * self.std + self.mean
+
+
+@dataclass
+class MinMaxNormalizer:
+    """Scale frames into [0, 1] using training-set min/max temperatures."""
+
+    minimum: float = 0.0
+    maximum: float = 1.0
+
+    @classmethod
+    def fit(cls, frames: np.ndarray) -> "MinMaxNormalizer":
+        frames = np.asarray(frames, dtype=np.float64)
+        lo, hi = float(frames.min()), float(frames.max())
+        if hi - lo < 1e-12:
+            hi = lo + 1.0
+        return cls(minimum=lo, maximum=hi)
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        frames = np.asarray(frames, dtype=np.float64)
+        return np.clip((frames - self.minimum) / (self.maximum - self.minimum), 0.0, 1.0)
+
+
+def ambient_removal(frames: np.ndarray) -> np.ndarray:
+    """Subtract the per-frame median temperature (a cheap ambient estimate).
+
+    This mimics the background-compensation step commonly applied to IR-array
+    data so the network sees body-heat contrast rather than absolute
+    temperature.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    median = np.median(frames, axis=(-2, -1), keepdims=True)
+    return frames - median
+
+
+def stack_frames(frames: np.ndarray, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack ``window`` consecutive frames into the channel dimension.
+
+    Returns ``(stacked, valid_indices)`` where ``stacked[i]`` contains frames
+    ``i-window+1 .. i``; the first ``window-1`` positions are dropped and
+    ``valid_indices`` maps stacked rows back to original frame indices.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    frames = np.asarray(frames)
+    if frames.ndim != 4 or frames.shape[1] != 1:
+        raise ValueError(f"expected (N, 1, H, W) frames, got {frames.shape}")
+    n = frames.shape[0]
+    if n < window:
+        raise ValueError(f"not enough frames ({n}) for a window of {window}")
+    stacked = np.concatenate(
+        [frames[i : n - window + 1 + i] for i in range(window)], axis=1
+    )
+    valid = np.arange(window - 1, n)
+    return stacked, valid

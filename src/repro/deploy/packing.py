@@ -1,0 +1,91 @@
+"""Bit-packing helpers for INT4 / INT8 tensors.
+
+The deployment layout stores every "channel run" (the innermost contiguous
+dimension of a tensor) padded with zeros up to a 32-bit word boundary: this
+lets the SIMD kernels consume whole words with no scalar leftover code, and
+costs only a few zero elements per run (the zeros contribute nothing to the
+dot products).  The same layout is used by the scalar kernels, which simply
+iterate over the real elements using the padded strides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+WORD_BYTES = 4
+
+
+def values_per_word(bits: int) -> int:
+    if bits not in (4, 8):
+        raise ValueError(f"unsupported packing bit-width {bits}")
+    return 32 // bits
+
+
+def padded_run_length(count: int, bits: int) -> int:
+    """Number of values a run of ``count`` values occupies once padded to a
+    whole number of 32-bit words."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    per_word = values_per_word(bits)
+    return ((count + per_word - 1) // per_word) * per_word
+
+
+def padded_run_bytes(count: int, bits: int) -> int:
+    return padded_run_length(count, bits) * bits // 8
+
+
+def pack_values(values: Iterable[int], bits: int) -> bytes:
+    """Pack signed integer values into little-endian bytes (2 nibbles per
+    byte for INT4, 1 value per byte for INT8).  The caller is responsible
+    for padding the run length to a word multiple."""
+    values = list(int(v) for v in values)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    for v in values:
+        if not lo <= v <= hi:
+            raise ValueError(f"value {v} does not fit in a signed {bits}-bit field")
+    if bits == 8:
+        return bytes((v & 0xFF) for v in values)
+    if len(values) % 2:
+        raise ValueError("INT4 packing requires an even number of values")
+    out = bytearray()
+    for low, high in zip(values[::2], values[1::2]):
+        out.append((low & 0xF) | ((high & 0xF) << 4))
+    return bytes(out)
+
+
+def unpack_values(raw: bytes, count: int, bits: int) -> List[int]:
+    """Inverse of :func:`pack_values`; returns ``count`` signed values."""
+    result: List[int] = []
+    if bits == 8:
+        for b in raw[:count]:
+            result.append(b - 256 if b >= 128 else b)
+        return result
+    for b in raw:
+        for nibble in (b & 0xF, (b >> 4) & 0xF):
+            result.append(nibble - 16 if nibble >= 8 else nibble)
+            if len(result) == count:
+                return result
+    if len(result) < count:
+        raise ValueError("not enough bytes to unpack the requested count")
+    return result
+
+
+def pack_padded_run(values: np.ndarray, bits: int) -> bytes:
+    """Pack one channel run, zero-padding it to a 32-bit word boundary."""
+    values = np.asarray(values).reshape(-1)
+    padded = np.zeros(padded_run_length(values.size, bits), dtype=np.int64)
+    padded[: values.size] = values
+    return pack_values(padded.tolist(), bits)
+
+
+def pack_runs(matrix: np.ndarray, bits: int) -> bytes:
+    """Pack a 2D array row by row, each row being an independent padded run."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2D array of runs, got shape {matrix.shape}")
+    out = bytearray()
+    for row in matrix:
+        out.extend(pack_padded_run(row, bits))
+    return bytes(out)

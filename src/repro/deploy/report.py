@@ -1,0 +1,124 @@
+"""Deployment reports (Table I of the paper).
+
+For a given quantized model the report gathers, for each of the three
+platforms (STM32 + X-CUBE-AI, vanilla IBEX, MAUPITI):
+
+* Code [B] — firmware code size,
+* Data [B] — weights + biases + activation buffers,
+* Energy [uJ] — digital energy per inference (cycles x power / frequency),
+* latency and cycle counts as supporting detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..hw.energy import IBEX_SPEC, MAUPITI_SPEC, STM32_SPEC
+from ..hw.platform import SmartSensorPlatform, ibex_platform, maupiti_platform
+from ..quant.integer import IntegerNetwork
+from .program import CompiledModel, compile_network
+from .runtime import run_frames
+from .stm32 import Stm32DeploymentModel
+
+
+@dataclass
+class PlatformReport:
+    """Deployment metrics of one model on one platform."""
+
+    platform: str
+    code_bytes: int
+    data_bytes: int
+    cycles: float
+    latency_ms: float
+    energy_uj: float
+
+    def row(self) -> str:
+        return (
+            f"{self.platform:<8} code={self.code_bytes:>6} B  data={self.data_bytes:>6} B  "
+            f"cycles={self.cycles:>10.0f}  latency={self.latency_ms:7.3f} ms  "
+            f"energy={self.energy_uj:7.3f} uJ"
+        )
+
+
+@dataclass
+class DeploymentReport:
+    """Table-I-style report for one model across the three platforms."""
+
+    model_label: str
+    entries: Dict[str, PlatformReport] = field(default_factory=dict)
+
+    def add(self, entry: PlatformReport) -> None:
+        self.entries[entry.platform] = entry
+
+    def improvement(self, metric: str, baseline: str = "STM32", target: str = "MAUPITI") -> float:
+        """Reduction factor of ``metric`` going from ``baseline`` to ``target``."""
+        base = getattr(self.entries[baseline], metric)
+        new = getattr(self.entries[target], metric)
+        if new == 0:
+            raise ZeroDivisionError(f"{target} has zero {metric}")
+        return base / new
+
+    def rows(self) -> List[str]:
+        order = ["STM32", "IBEX", "MAUPITI"]
+        return [self.entries[p].row() for p in order if p in self.entries]
+
+
+def report_on_simulated_platform(
+    network: IntegerNetwork,
+    platform: SmartSensorPlatform,
+    calibration_frames: np.ndarray,
+    compiled: Optional[CompiledModel] = None,
+) -> PlatformReport:
+    """Measure one platform by actually running frames on the ISA simulator."""
+    if compiled is None:
+        compiled = compile_network(
+            network,
+            use_sdotp=platform.spec.supports_sdotp,
+            code_overhead_bytes=platform.spec.code_overhead_bytes,
+        )
+    batch = run_frames(platform, compiled, calibration_frames)
+    cycles = batch.mean_cycles
+    return PlatformReport(
+        platform=platform.spec.name,
+        code_bytes=compiled.code_size_bytes,
+        data_bytes=compiled.data_size_bytes,
+        cycles=cycles,
+        latency_ms=platform.spec.cycles_to_seconds(int(cycles)) * 1e3,
+        energy_uj=platform.spec.energy_per_inference_uj(int(cycles)),
+    )
+
+
+def report_on_stm32(
+    network: IntegerNetwork, model: Optional[Stm32DeploymentModel] = None
+) -> PlatformReport:
+    """Analytical STM32 + X-CUBE-AI estimate."""
+    model = model or Stm32DeploymentModel()
+    cycles = model.inference_cycles(network)
+    return PlatformReport(
+        platform=STM32_SPEC.name,
+        code_bytes=model.code_size_bytes(network),
+        data_bytes=model.data_size_bytes(network),
+        cycles=cycles,
+        latency_ms=model.latency_s(network) * 1e3,
+        energy_uj=model.energy_uj(network),
+    )
+
+
+def full_deployment_report(
+    network: IntegerNetwork,
+    calibration_frames: np.ndarray,
+    model_label: str = "model",
+) -> DeploymentReport:
+    """Build the complete Table-I row set (STM32 / IBEX / MAUPITI) for one model."""
+    report = DeploymentReport(model_label=model_label)
+    report.add(report_on_stm32(network))
+    report.add(
+        report_on_simulated_platform(network, ibex_platform(), calibration_frames)
+    )
+    report.add(
+        report_on_simulated_platform(network, maupiti_platform(), calibration_frames)
+    )
+    return report

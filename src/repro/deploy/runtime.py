@@ -1,0 +1,171 @@
+"""Inference runtime: run a compiled model on the simulated smart sensor.
+
+The runtime plays the role of the boot/IO firmware that is not part of the
+benchmarked kernels: it loads the program image and the constant data into
+the on-chip memories, writes each (quantized) input frame into the input
+activation buffer — as the sensor read-out DMA would — starts the core, and
+reads back the predicted class.
+
+It also provides :func:`verify_against_golden`, which checks that the ISA
+simulation reproduces the numpy integer golden model bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..hw.core import ExecutionStats
+from ..hw.platform import SmartSensorPlatform
+from ..quant.integer import IntegerNetwork
+from .program import CompiledModel
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of running one frame on the simulated platform."""
+
+    prediction: int
+    logits: np.ndarray
+    stats: ExecutionStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+@dataclass
+class BatchInferenceResult:
+    """Aggregated results over a sequence of frames."""
+
+    predictions: np.ndarray
+    cycles_per_frame: np.ndarray
+    results: List[InferenceResult] = field(default_factory=list)
+
+    @property
+    def mean_cycles(self) -> float:
+        return float(self.cycles_per_frame.mean()) if self.cycles_per_frame.size else 0.0
+
+
+def load_model(platform: SmartSensorPlatform, compiled: CompiledModel) -> None:
+    """Load constant data (weights, biases) into the platform's data memory
+    and check the image against the memory budget."""
+    platform.check_fits(compiled.code_size_bytes, compiled.data_size_bytes)
+    if compiled.use_sdotp and not platform.spec.supports_sdotp:
+        raise ValueError(
+            f"model compiled with SDOTP kernels cannot run on {platform.spec.name}"
+        )
+    for chunk in compiled.data_chunks:
+        platform.memory.store_bytes(chunk.address, chunk.payload)
+
+
+def quantize_frame(compiled: CompiledModel, frame: np.ndarray) -> np.ndarray:
+    """Quantize one float frame to the signed input grid of the first layer."""
+    bits_max = 2 ** (8 - 1) - 1
+    bits_min = -(2 ** (8 - 1))
+    q = np.round(np.asarray(frame, dtype=np.float64) / compiled.input_scale)
+    return np.clip(q + compiled.input_zero_point, bits_min, bits_max).astype(np.int64)
+
+
+def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: np.ndarray) -> None:
+    """Write a quantized input frame into the (spatially padded) input buffer."""
+    buf = compiled.input_buffer
+    frame_int = quantize_frame(compiled, frame)
+    if frame_int.ndim == 3:  # (C, H, W)
+        c, h, w = frame_int.shape
+    else:
+        raise ValueError(f"expected a (C, H, W) frame, got shape {frame_int.shape}")
+    if c != buf.channels or h + 2 * buf.pad != buf.height or w + 2 * buf.pad != buf.width:
+        raise ValueError("frame shape does not match the compiled input buffer")
+
+    payload = bytearray(buf.size_bytes)
+    zp = compiled.input_zero_point & 0xFF
+    # Fill the pad ring (every pixel, channel 0..C-1) with the zero point.
+    for py in range(buf.height):
+        for px in range(buf.width):
+            base = py * buf.row_stride + px * buf.pixel_stride
+            inside = buf.pad <= py < buf.pad + h and buf.pad <= px < buf.pad + w
+            for ci in range(c):
+                if inside:
+                    value = int(frame_int[ci, py - buf.pad, px - buf.pad]) & 0xFF
+                else:
+                    value = zp
+                payload[base + ci] = value
+    platform.memory.store_bytes(buf.address, bytes(payload))
+
+
+def run_frame(
+    platform: SmartSensorPlatform, compiled: CompiledModel, frame: np.ndarray
+) -> InferenceResult:
+    """Run a single frame through the compiled model on the simulator."""
+    write_input(platform, compiled, frame)
+    stats = platform.run_program(compiled.program)
+    prediction = platform.memory.load_word(compiled.result_address)
+    logits = np.array(
+        [
+            platform.memory.load_word(compiled.logits_address + 4 * i)
+            for i in range(compiled.num_classes)
+        ],
+        dtype=np.int64,
+    )
+    return InferenceResult(prediction=int(prediction), logits=logits, stats=stats)
+
+
+def run_frames(
+    platform: SmartSensorPlatform,
+    compiled: CompiledModel,
+    frames: np.ndarray,
+    keep_results: bool = False,
+) -> BatchInferenceResult:
+    """Run a batch of frames; the model is loaded once, frames run sequentially."""
+    load_model(platform, compiled)
+    predictions = []
+    cycles = []
+    results: List[InferenceResult] = []
+    for frame in frames:
+        result = run_frame(platform, compiled, frame)
+        predictions.append(result.prediction)
+        cycles.append(result.cycles)
+        if keep_results:
+            results.append(result)
+    return BatchInferenceResult(
+        predictions=np.asarray(predictions, dtype=np.int64),
+        cycles_per_frame=np.asarray(cycles, dtype=np.int64),
+        results=results,
+    )
+
+
+def verify_against_golden(
+    platform: SmartSensorPlatform,
+    compiled: CompiledModel,
+    golden: IntegerNetwork,
+    frames: np.ndarray,
+    check_logits: bool = True,
+) -> BatchInferenceResult:
+    """Run frames on the ISA simulator and assert bit-exact agreement with the
+    numpy integer golden model (logits and predictions)."""
+    load_model(platform, compiled)
+    batch_predictions = []
+    batch_cycles = []
+    for index, frame in enumerate(frames):
+        result = run_frame(platform, compiled, frame)
+        golden_logits = golden.forward(frame[None])[0]
+        if check_logits and not np.array_equal(result.logits, golden_logits):
+            raise AssertionError(
+                f"frame {index}: simulator logits {result.logits.tolist()} differ "
+                f"from golden {golden_logits.tolist()}"
+            )
+        golden_pred = int(np.argmax(golden_logits))
+        if result.prediction != golden_pred:
+            raise AssertionError(
+                f"frame {index}: simulator predicted {result.prediction}, "
+                f"golden predicted {golden_pred}"
+            )
+        batch_predictions.append(result.prediction)
+        batch_cycles.append(result.cycles)
+    return BatchInferenceResult(
+        predictions=np.asarray(batch_predictions, dtype=np.int64),
+        cycles_per_frame=np.asarray(batch_cycles, dtype=np.int64),
+    )

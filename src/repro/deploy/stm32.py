@@ -1,0 +1,103 @@
+"""Analytical deployment model of the STM32L4R5 + X-CUBE-AI baseline.
+
+The paper compares MAUPITI against an off-the-shelf STM32L4R5 (Cortex-M4
+class, 120 MHz) running networks deployed with the proprietary X-CUBE-AI
+toolchain.  X-CUBE-AI only supports 8-bit quantization, ships a sizeable
+runtime (~20 kB of code), keeps per-layer tensor descriptors and scratch
+buffers in RAM, and executes roughly an order of magnitude faster than the
+20 MHz MAUPITI thanks to the higher clock, the richer ISA and operator
+fusion — at the cost of a ~13x higher power draw.
+
+Because the X-CUBE-AI runtime is closed source, this model is analytical:
+code size, data size and cycle counts are parametric formulas calibrated on
+the operating points published in Table I of the paper.  The formulas keep
+the *shape* of the comparison (constant large code overhead, 8-bit-only
+weights, lower latency, higher power) rather than reproducing exact figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.energy import STM32_SPEC, PlatformSpec
+from ..quant.integer import IntegerLayer, IntegerNetwork, PoolSpec
+
+
+@dataclass
+class Stm32DeploymentModel:
+    """Parametric X-CUBE-AI deployment estimate.
+
+    Parameters
+    ----------
+    runtime_code_bytes:
+        Fixed code footprint of the X-CUBE-AI inference runtime.
+    per_layer_code_bytes:
+        Generated glue code per network layer.
+    runtime_data_bytes:
+        Fixed RAM taken by the runtime (tensor descriptors, scratch).
+    cycles_per_mac:
+        Effective cycles per multiply-accumulate including load/store
+        overhead (the Cortex-M4 SMLAD path of X-CUBE-AI).
+    fixed_cycles:
+        Per-inference runtime overhead (graph dispatch, pre/post processing).
+    """
+
+    spec: PlatformSpec = STM32_SPEC
+    runtime_code_bytes: int = 22_500
+    per_layer_code_bytes: int = 90
+    runtime_data_bytes: int = 7_800
+    cycles_per_mac: float = 2.6
+    fixed_cycles: int = 28_000
+
+    # ------------------------------------------------------------------ #
+    def code_size_bytes(self, network: IntegerNetwork) -> int:
+        num_layers = len(network.layers())
+        return int(self.runtime_code_bytes + self.per_layer_code_bytes * num_layers)
+
+    def data_size_bytes(self, network: IntegerNetwork) -> int:
+        """Weights are stored at 8 bits regardless of the mixed-precision
+        scheme (X-CUBE-AI limitation), plus 32-bit biases, activation
+        buffers and the fixed runtime RAM."""
+        weights = sum(layer.weight.size for layer in network.layers())
+        biases = sum(layer.bias.size * 4 for layer in network.layers())
+        activations = self._activation_bytes(network)
+        return int(weights + biases + activations + self.runtime_data_bytes)
+
+    def inference_cycles(self, network: IntegerNetwork) -> int:
+        return int(self.fixed_cycles + self.cycles_per_mac * network.macs())
+
+    def latency_s(self, network: IntegerNetwork) -> float:
+        return self.spec.cycles_to_seconds(self.inference_cycles(network))
+
+    def energy_uj(self, network: IntegerNetwork) -> float:
+        return self.spec.energy_per_inference_uj(self.inference_cycles(network))
+
+    # ------------------------------------------------------------------ #
+    def _activation_bytes(self, network: IntegerNetwork) -> int:
+        """8-bit activation buffers sized like the X-CUBE-AI arena (the two
+        largest consecutive tensors coexist)."""
+        sizes = []
+        c, h, w = network.input_shape
+        sizes.append(c * h * w)
+        for node in network.graph:
+            if isinstance(node, PoolSpec):
+                if node.kind == "maxpool":
+                    h = (h - node.kernel[0]) // node.stride[0] + 1
+                    w = (w - node.kernel[1]) // node.stride[1] + 1
+                    sizes.append(c * h * w)
+                continue
+            layer: IntegerLayer = node
+            if layer.kind == "conv":
+                c_out, _, kh, kw = layer.weight.shape
+                h = (h + 2 * layer.padding[0] - kh) // layer.stride[0] + 1
+                w = (w + 2 * layer.padding[1] - kw) // layer.stride[1] + 1
+                c = c_out
+                sizes.append(c * h * w)
+            else:
+                c, h, w = layer.weight.shape[0], 1, 1
+                sizes.append(c * 4 if not layer.requantize else c)
+        # Ping-pong arena: the two largest adjacent tensors must coexist.
+        best = 0
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            best = max(best, a + b)
+        return best

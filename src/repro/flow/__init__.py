@@ -1,0 +1,42 @@
+"""Full-stack optimization flow orchestration (Fig. 1)."""
+
+from .seeds import build_seed_cnn, seed_builder
+from .pareto import (
+    ParetoPoint,
+    best_at_cost_budget,
+    cost_at_score_floor,
+    is_dominated,
+    merge_fronts,
+    pareto_front,
+    points_from,
+    reduction_factor,
+)
+from .baseline import MANUAL_GRID, BaselinePoint, train_manual_baseline
+from .pipeline import (
+    FlowConfig,
+    FlowPoint,
+    FlowResult,
+    OptimizationFlow,
+    Preprocessor,
+)
+
+__all__ = [
+    "build_seed_cnn",
+    "seed_builder",
+    "ParetoPoint",
+    "pareto_front",
+    "merge_fronts",
+    "points_from",
+    "is_dominated",
+    "best_at_cost_budget",
+    "cost_at_score_floor",
+    "reduction_factor",
+    "MANUAL_GRID",
+    "BaselinePoint",
+    "train_manual_baseline",
+    "FlowConfig",
+    "FlowPoint",
+    "FlowResult",
+    "OptimizationFlow",
+    "Preprocessor",
+]

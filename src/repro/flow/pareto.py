@@ -1,0 +1,98 @@
+"""Pareto-front utilities over (accuracy, cost) points.
+
+The flow produces clouds of candidate models in the 3D space of balanced
+accuracy, memory footprint and number of MACs; the paper's figures report
+2D Pareto fronts (BAS vs memory, BAS vs MACs).  These helpers extract and
+merge such fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class ParetoPoint:
+    """A generic point: higher ``score`` is better, lower ``cost`` is better."""
+
+    score: float
+    cost: float
+    payload: object = None
+    label: str = ""
+
+
+def is_dominated(point: ParetoPoint, others: Iterable[ParetoPoint]) -> bool:
+    """A point is dominated if some other point is at least as good on both
+    axes and strictly better on at least one."""
+    for other in others:
+        if other is point:
+            continue
+        if (
+            other.score >= point.score
+            and other.cost <= point.cost
+            and (other.score > point.score or other.cost < point.cost)
+        ):
+            return True
+    return False
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset, sorted by increasing cost."""
+    front = [p for p in points if not is_dominated(p, points)]
+    return sorted(front, key=lambda p: (p.cost, -p.score))
+
+
+def merge_fronts(*fronts: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Merge several fronts and re-extract the global non-dominated set."""
+    merged: List[ParetoPoint] = []
+    for front in fronts:
+        merged.extend(front)
+    return pareto_front(merged)
+
+
+def points_from(
+    items: Sequence[T],
+    score: Callable[[T], float],
+    cost: Callable[[T], float],
+    label: Callable[[T], str] = lambda item: "",
+) -> List[ParetoPoint]:
+    """Wrap arbitrary objects into :class:`ParetoPoint` records."""
+    return [
+        ParetoPoint(score=score(i), cost=cost(i), payload=i, label=label(i)) for i in items
+    ]
+
+
+def best_at_cost_budget(
+    front: Sequence[ParetoPoint], max_cost: float
+) -> Optional[ParetoPoint]:
+    """Highest-score point whose cost does not exceed ``max_cost``."""
+    eligible = [p for p in front if p.cost <= max_cost]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda p: p.score)
+
+
+def cost_at_score_floor(
+    front: Sequence[ParetoPoint], min_score: float
+) -> Optional[ParetoPoint]:
+    """Cheapest point whose score is at least ``min_score`` (the paper's
+    "iso-accuracy" comparisons)."""
+    eligible = [p for p in front if p.score >= min_score]
+    if not eligible:
+        return None
+    return min(eligible, key=lambda p: p.cost)
+
+
+def reduction_factor(
+    ours: Sequence[ParetoPoint], reference: Sequence[ParetoPoint], min_score: float
+) -> Optional[float]:
+    """Cost reduction of our cheapest point vs the reference's cheapest point
+    at the same accuracy floor (e.g. "4.2x smaller at iso-BAS")."""
+    our_point = cost_at_score_floor(ours, min_score)
+    ref_point = cost_at_score_floor(reference, min_score)
+    if our_point is None or ref_point is None or our_point.cost == 0:
+        return None
+    return ref_point.cost / our_point.cost

@@ -1,0 +1,283 @@
+"""Full-stack optimization flow (Fig. 1 of the paper).
+
+The :class:`OptimizationFlow` chains the four stages:
+
+1. **Architecture optimization** — PIT DNAS lambda sweep starting from the
+   seed CNN, producing FLOAT32 architectures of decreasing size.
+2. **Precision optimization** — exhaustive INT4/INT8 mixed-precision QAT of
+   the Pareto-optimal architectures.
+3. **Post-processing** — sliding-window majority voting applied to the test
+   sessions' temporally ordered predictions.
+4. **Deployment** — lowering to the integer runtime and (optionally)
+   compiling for the IBEX / MAUPITI platforms.
+
+Also provided are the input pre-processing convention used throughout the
+reproduction (per-frame ambient removal + global standardization fitted on
+training data) and the Table-I model selection rules (Top / -5% / Mini).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.linaige import LinaigeDataset, NUM_CLASSES, Session
+from ..datasets.transforms import Standardizer, ambient_removal
+from ..nas.search import ArchitecturePoint, SearchConfig, run_search
+from ..nn.data import ArrayDataset
+from ..nn.losses import CrossEntropyLoss, balanced_class_weights
+from ..nn.module import Sequential
+from ..nn.trainer import predict
+from ..postproc.majority import majority_filter
+from ..quant.mixed import QATConfig, QuantizedPoint, explore_mixed_precision
+from ..quant.quantize import PrecisionScheme
+from .pareto import ParetoPoint, pareto_front, points_from
+from .seeds import seed_builder
+
+
+@dataclass
+class Preprocessor:
+    """The input pre-processing used across the whole flow.
+
+    Frames go through per-frame ambient (median) removal — making the
+    network robust to the per-session ambient temperature shift — followed
+    by a global standardization whose statistics are fitted on training data
+    only.
+    """
+
+    standardizer: Standardizer = field(default_factory=Standardizer)
+
+    @classmethod
+    def fit(cls, frames: np.ndarray) -> "Preprocessor":
+        removed = ambient_removal(frames)
+        return cls(standardizer=Standardizer.fit(removed))
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        return self.standardizer(ambient_removal(frames))
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of one end-to-end flow run.
+
+    The defaults are scaled down with respect to the paper's 500-epoch runs
+    so the whole flow remains tractable with the numpy training backend; the
+    structure (which stages run, in which order, on which data) is identical.
+    """
+
+    lambdas: Sequence[float] = (1e-6, 1e-5, 1e-4, 5e-4)
+    nas_cost: str = "params"
+    search: SearchConfig = field(default_factory=SearchConfig)
+    qat: QATConfig = field(default_factory=QATConfig)
+    majority_window: int = 5
+    max_quantized_architectures: int = 4
+    use_class_weights: bool = True
+    seed: int = 0
+
+
+@dataclass
+class FlowPoint:
+    """One final model of the flow with all metrics attached."""
+
+    label: str
+    bas: float
+    bas_majority: float
+    memory_bytes: float
+    macs: int
+    scheme: Optional[PrecisionScheme] = None
+    quantized: Optional[QuantizedPoint] = None
+    architecture: Optional[ArchitecturePoint] = None
+
+    @property
+    def memory_kb(self) -> float:
+        return self.memory_bytes / 1024.0
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced."""
+
+    seed_point: Tuple[float, float, int]  # (bas, memory_bytes, macs) of the seed
+    float_points: List[ArchitecturePoint]
+    quantized_points: List[QuantizedPoint]
+    flow_points: List[FlowPoint]
+    preprocessor: Preprocessor
+
+    def pareto_memory(self, use_majority: bool = True) -> List[ParetoPoint]:
+        return pareto_front(
+            points_from(
+                self.flow_points,
+                score=lambda p: p.bas_majority if use_majority else p.bas,
+                cost=lambda p: p.memory_bytes,
+                label=lambda p: p.label,
+            )
+        )
+
+    def pareto_macs(self, use_majority: bool = True) -> List[ParetoPoint]:
+        return pareto_front(
+            points_from(
+                self.flow_points,
+                score=lambda p: p.bas_majority if use_majority else p.bas,
+                cost=lambda p: float(p.macs),
+                label=lambda p: p.label,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Table I model selection
+    # ------------------------------------------------------------------ #
+    def select_top(self) -> FlowPoint:
+        """The highest-accuracy model."""
+        return max(self.flow_points, key=lambda p: p.bas_majority)
+
+    def select_minus5(self) -> FlowPoint:
+        """The smallest model within 5% BAS of the top one."""
+        top = self.select_top()
+        eligible = [
+            p for p in self.flow_points if p.bas_majority >= top.bas_majority - 0.05
+        ]
+        return min(eligible, key=lambda p: p.memory_bytes)
+
+    def select_mini(self) -> FlowPoint:
+        """The smallest model overall."""
+        return min(self.flow_points, key=lambda p: p.memory_bytes)
+
+
+class OptimizationFlow:
+    """Runs the full NAS -> quantization -> post-processing flow."""
+
+    def __init__(self, config: Optional[FlowConfig] = None):
+        self.config = config or FlowConfig()
+
+    # ------------------------------------------------------------------ #
+    def prepare_data(
+        self, dataset: LinaigeDataset, test_session_id: int = 2
+    ) -> Tuple[ArrayDataset, ArrayDataset, Session, Preprocessor]:
+        """Split the dataset following the paper's protocol.
+
+        NAS and QAT use Session 1 (always in the training set); the held-out
+        session provides the test data.  Returns the (preprocessed) training
+        set, the preprocessed test set, the raw test session (for temporal
+        post-processing) and the fitted preprocessor.
+        """
+        test_session = dataset.session(test_session_id)
+        train_frames = []
+        train_labels = []
+        for session in dataset.sessions:
+            if session.session_id == test_session_id:
+                continue
+            train_frames.append(session.frames)
+            train_labels.append(session.labels)
+        frames = np.concatenate(train_frames)
+        labels = np.concatenate(train_labels)
+        pre = Preprocessor.fit(frames)
+        train_set = ArrayDataset(pre(frames), labels)
+        test_set = ArrayDataset(pre(test_session.frames), test_session.labels)
+        return train_set, test_set, test_session, pre
+
+    def _loss(self, labels: np.ndarray) -> CrossEntropyLoss:
+        if not self.config.use_class_weights:
+            return CrossEntropyLoss()
+        return CrossEntropyLoss(balanced_class_weights(labels, NUM_CLASSES))
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        dataset: LinaigeDataset,
+        test_session_id: int = 2,
+        seed_channels: Tuple[int, int] = (64, 64),
+        seed_hidden: int = 64,
+    ) -> FlowResult:
+        """Execute the full flow against one held-out session."""
+        cfg = self.config
+        train_set, test_set, test_session, pre = self.prepare_data(
+            dataset, test_session_id
+        )
+        loss_fn = self._loss(train_set.targets)
+
+        # Stage 0: measure the seed itself (the blue star of Fig. 5).
+        from ..nas.cost import count_macs, count_params
+        from ..nn.trainer import TrainConfig, evaluate_bas, train_model
+
+        rng = np.random.default_rng(cfg.seed)
+        seed_model = seed_builder(seed_channels, seed_hidden)(rng)
+        train_model(
+            seed_model,
+            train_set,
+            val_set=test_set,
+            config=TrainConfig(
+                epochs=cfg.search.finetune_epochs, batch_size=cfg.search.batch_size
+            ),
+            loss_fn=loss_fn,
+            rng=rng,
+        )
+        seed_bas = evaluate_bas(seed_model, test_set)
+        seed_point = (
+            seed_bas,
+            float(count_params(seed_model)) * 4.0,
+            count_macs(seed_model),
+        )
+
+        # Stage 1: architecture search (lambda sweep).
+        search_cfg = cfg.search
+        search_cfg.lambdas = cfg.lambdas
+        search_cfg.cost = cfg.nas_cost
+        float_points = run_search(
+            seed_builder(seed_channels, seed_hidden),
+            train_set,
+            test_set,
+            config=search_cfg,
+            loss_fn=loss_fn,
+            seed=cfg.seed,
+        )
+
+        # Stage 2: mixed-precision QAT of the Pareto-optimal architectures.
+        float_front = pareto_front(
+            points_from(float_points, score=lambda p: p.bas, cost=lambda p: float(p.params))
+        )
+        selected = [p.payload for p in float_front][: cfg.max_quantized_architectures]
+        quantized_points: List[QuantizedPoint] = []
+        for arch in selected:
+            quantized_points.extend(
+                explore_mixed_precision(
+                    arch.model,
+                    train_set,
+                    test_set,
+                    config=cfg.qat,
+                    loss_fn=loss_fn,
+                    seed=cfg.seed,
+                    source_label=arch.describe(),
+                )
+            )
+
+        # Stage 3: majority-voting post-processing on the test session.
+        flow_points: List[FlowPoint] = []
+        test_frames = pre(test_session.frames)
+        for qp in quantized_points:
+            raw_preds = predict(qp.model, test_frames)
+            voted = majority_filter(raw_preds, window=cfg.majority_window)
+            from ..nn.metrics import balanced_accuracy
+
+            flow_points.append(
+                FlowPoint(
+                    label=f"{qp.source_label} {qp.scheme.label}",
+                    bas=qp.bas,
+                    bas_majority=balanced_accuracy(
+                        test_session.labels, voted, NUM_CLASSES
+                    ),
+                    memory_bytes=qp.memory_bytes,
+                    macs=qp.macs,
+                    scheme=qp.scheme,
+                    quantized=qp,
+                )
+            )
+
+        return FlowResult(
+            seed_point=seed_point,
+            float_points=float_points,
+            quantized_points=quantized_points,
+            flow_points=flow_points,
+            preprocessor=pre,
+        )

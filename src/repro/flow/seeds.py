@@ -1,0 +1,87 @@
+"""Seed networks.
+
+The paper uses, as seed for the DNAS, the largest CNN configuration of the
+manual exploration in [4]: two 3x3 convolutions with 64 output channels each
+(stride 1, padding preserving the spatial size), a 2x2 max-pooling between
+them, BatchNorm + ReLU after every convolution, and a classifier made of two
+linear layers with 64 and 4 output features.  On an 8x8 single-channel input
+the feature extractor therefore produces a 64x4x4 map before flattening.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.linaige import FRAME_SIZE, NUM_CLASSES
+from ..nn.layers import BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from ..nn.module import Sequential
+
+
+def build_seed_cnn(
+    rng: Optional[np.random.Generator] = None,
+    conv_channels: Sequence[int] = (64, 64),
+    hidden_features: int = 64,
+    num_classes: int = NUM_CLASSES,
+    input_size: int = FRAME_SIZE,
+    in_channels: int = 1,
+    batch_norm: bool = True,
+) -> Sequential:
+    """Build the seed CNN (or a smaller sibling from the same family).
+
+    Parameters
+    ----------
+    conv_channels:
+        Output channels of the two convolutional layers; the paper's seed is
+        ``(64, 64)``, the hand-tuned baseline grid uses smaller values.
+    hidden_features:
+        Output features of the first linear layer.
+    batch_norm:
+        Whether convolutions are followed by BatchNorm (True in the paper).
+
+    Returns
+    -------
+    A :class:`~repro.nn.module.Sequential` ending with an un-activated
+    ``num_classes``-way linear classifier.
+    """
+    if len(conv_channels) != 2:
+        raise ValueError("the seed family uses exactly two convolutional layers")
+    rng = rng if rng is not None else np.random.default_rng()
+    c1, c2 = conv_channels
+    pooled = input_size // 2
+    layers = [
+        Conv2d(in_channels, c1, kernel_size=3, stride=1, padding=1, rng=rng),
+    ]
+    if batch_norm:
+        layers.append(BatchNorm2d(c1))
+    layers += [ReLU(), MaxPool2d(2)]
+    layers.append(Conv2d(c1, c2, kernel_size=3, stride=1, padding=1, rng=rng))
+    if batch_norm:
+        layers.append(BatchNorm2d(c2))
+    layers += [
+        ReLU(),
+        Flatten(),
+        Linear(c2 * pooled * pooled, hidden_features, rng=rng),
+        ReLU(),
+        Linear(hidden_features, num_classes, rng=rng),
+    ]
+    return Sequential(*layers)
+
+
+def seed_builder(
+    conv_channels: Sequence[int] = (64, 64),
+    hidden_features: int = 64,
+    **kwargs,
+):
+    """Return a callable ``rng -> Sequential`` for the search driver."""
+
+    def build(rng: np.random.Generator) -> Sequential:
+        return build_seed_cnn(
+            rng=rng,
+            conv_channels=conv_channels,
+            hidden_features=hidden_features,
+            **kwargs,
+        )
+
+    return build

@@ -1,0 +1,86 @@
+"""Full MAUPITI system assembly (Fig. 3).
+
+A :class:`SmartSensorPlatform` bundles the sensor array, the memory
+subsystem, the (optionally customized) IBEX core and the platform's
+power/energy specification, and exposes the operations the deployment
+runtime needs: load a program image, run it, and account for energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .core import CycleModel, ExecutionStats, IbexCore
+from .energy import IBEX_SPEC, MAUPITI_SPEC, PlatformSpec, system_energy_per_frame_j
+from .isa import Instruction
+from .memory import DMEM_SIZE, IMEM_SIZE, Memory
+from .sensor import TmosArray, TmosArrayConfig
+
+
+@dataclass
+class PlatformLimits:
+    """On-chip memory budget the compiled model must fit."""
+
+    imem_bytes: int = IMEM_SIZE
+    dmem_bytes: int = DMEM_SIZE
+
+
+class SmartSensorPlatform:
+    """A smart sensor node: TMOS array + digital block with an IBEX-class core."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec = MAUPITI_SPEC,
+        limits: Optional[PlatformLimits] = None,
+        sensor_config: Optional[TmosArrayConfig] = None,
+    ):
+        self.spec = spec
+        self.limits = limits or PlatformLimits()
+        self.memory = Memory(
+            imem_size=self.limits.imem_bytes, dmem_size=self.limits.dmem_bytes
+        )
+        self.core = IbexCore(
+            memory=self.memory,
+            enable_sdotp=spec.supports_sdotp,
+            cycle_model=CycleModel(),
+        )
+        self.sensor = TmosArray(sensor_config)
+
+    # ------------------------------------------------------------------ #
+    def check_fits(self, code_bytes: int, data_bytes: int) -> None:
+        """Raise if a program image exceeds the on-chip memories."""
+        if code_bytes > self.limits.imem_bytes:
+            raise MemoryError(
+                f"code size {code_bytes} B exceeds the {self.limits.imem_bytes} B "
+                f"instruction memory of {self.spec.name}"
+            )
+        if data_bytes > self.limits.dmem_bytes:
+            raise MemoryError(
+                f"data size {data_bytes} B exceeds the {self.limits.dmem_bytes} B "
+                f"data memory of {self.spec.name}"
+            )
+
+    def run_program(self, program: List[Instruction]) -> ExecutionStats:
+        """Execute a program on the core (memory must be pre-loaded)."""
+        self.core.reset()
+        return self.core.run(program)
+
+    # ------------------------------------------------------------------ #
+    def inference_energy_uj(self, cycles: int) -> float:
+        """Digital-block energy for one inference, in microjoules."""
+        return self.spec.energy_per_inference_uj(cycles)
+
+    def frame_energy_uj(self, cycles: int) -> float:
+        """Whole-node energy for one frame (sensor + inference), in microjoules."""
+        return system_energy_per_frame_j(cycles, self.spec) * 1e6
+
+
+def maupiti_platform() -> SmartSensorPlatform:
+    """The taped-out MAUPITI configuration (SDOTP enabled)."""
+    return SmartSensorPlatform(spec=MAUPITI_SPEC)
+
+
+def ibex_platform() -> SmartSensorPlatform:
+    """The same chip with the custom instructions disabled (baseline)."""
+    return SmartSensorPlatform(spec=IBEX_SPEC)

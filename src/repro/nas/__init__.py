@@ -1,0 +1,23 @@
+"""PIT mask-based differentiable neural architecture search (Sec. III-A1)."""
+
+from .masks import ChannelMask
+from .pit_layers import PITConv2d, PITLinear
+from .pit import PITModel
+from .cost import CostModel, MacsCost, ParamsCost, count_macs, count_params
+from .search import ArchitecturePoint, SearchConfig, run_search, search_single_strength
+
+__all__ = [
+    "ChannelMask",
+    "PITConv2d",
+    "PITLinear",
+    "PITModel",
+    "CostModel",
+    "ParamsCost",
+    "MacsCost",
+    "count_params",
+    "count_macs",
+    "ArchitecturePoint",
+    "SearchConfig",
+    "run_search",
+    "search_single_strength",
+]

@@ -1,0 +1,146 @@
+"""Differentiable hardware-cost models for the PIT search.
+
+The paper's search objective is ``L(W; theta) + lambda * C(theta)`` where
+``C`` is a differentiable proxy of either the memory footprint (number of
+parameters) or the energy (number of multiply-accumulate operations).
+
+Both proxies factorize per layer as
+
+    size_l = k_l * in_l(theta) * out_l(theta) + out_l(theta)        [params]
+    macs_l = k_l * in_l(theta) * out_l(theta) * spatial_l            [MACs]
+
+where ``out_l`` is the (binarized, straight-through) sum of the layer's
+channel masks and ``in_l`` is the previous maskable layer's ``out`` times the
+Flatten expansion factor.  The gradients w.r.t. each mask element are the
+partial derivatives of this product form; they flow to ``theta`` via the STE.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pit import PITModel
+
+
+class CostModel:
+    """Base class: ``value`` evaluates C(theta), ``accumulate_gradients``
+    adds ``scale * dC/dtheta`` onto every mask's theta gradient."""
+
+    name = "cost"
+
+    def _layer_terms(self, model: "PITModel", unit) -> Tuple[float, float, float]:
+        """Return ``(k_times_spatial, eff_in, eff_out)`` for one unit."""
+        raise NotImplementedError
+
+    def value(self, model: "PITModel") -> float:
+        total = 0.0
+        for unit in model.units:
+            factor, eff_in, eff_out = self._layer_terms(model, unit)
+            total += factor * eff_in * eff_out + self._bias_term(unit, eff_out)
+        return float(total)
+
+    def _bias_term(self, unit, eff_out: float) -> float:
+        return 0.0
+
+    def accumulate_gradients(self, model: "PITModel", scale: float = 1.0) -> None:
+        """Accumulate ``scale * dC/dtheta`` on every trainable mask."""
+        for ui, unit in enumerate(model.units):
+            factor, eff_in, eff_out = self._layer_terms(model, unit)
+            # Own-mask contribution: dC/d out_l.
+            if unit.mask is not None:
+                grad_own = factor * eff_in + self._bias_grad(unit)
+                unit.mask.accumulate_grad(
+                    np.full(unit.mask.num_channels, scale * grad_own)
+                )
+            # Contribution to the previous layer's mask through eff_in.
+            if unit.prev is not None:
+                prev = model.units[unit.prev]
+                if prev.mask is not None:
+                    grad_prev = factor * unit.in_expansion * eff_out
+                    prev.mask.accumulate_grad(
+                        np.full(prev.mask.num_channels, scale * grad_prev)
+                    )
+
+    def _bias_grad(self, unit) -> float:
+        return 0.0
+
+    def regularizer(self, strength: float) -> Callable:
+        """Build the ``extra_loss`` callback expected by the training loop."""
+
+        def extra_loss(model: "PITModel"):
+            penalty = strength * self.value(model)
+
+            def apply_grads() -> None:
+                self.accumulate_gradients(model, scale=strength)
+
+            return penalty, apply_grads
+
+        return extra_loss
+
+
+class ParamsCost(CostModel):
+    """Number of parameters (weights + biases): the paper's memory proxy."""
+
+    name = "params"
+
+    def _layer_terms(self, model, unit):
+        eff_out = unit.effective_out()
+        eff_in = model.effective_in(unit)
+        return float(unit.kernel_elems), eff_in, eff_out
+
+    def _bias_term(self, unit, eff_out: float) -> float:
+        has_bias = getattr(unit.layer, "seed", unit.layer).bias is not None
+        return eff_out if has_bias else 0.0
+
+    def _bias_grad(self, unit) -> float:
+        has_bias = getattr(unit.layer, "seed", unit.layer).bias is not None
+        return 1.0 if has_bias else 0.0
+
+
+class MacsCost(CostModel):
+    """Multiply-accumulate operations per inference: the paper's energy proxy."""
+
+    name = "macs"
+
+    def _layer_terms(self, model, unit):
+        eff_out = unit.effective_out()
+        eff_in = model.effective_in(unit)
+        return float(unit.kernel_elems * unit.out_spatial), eff_in, eff_out
+
+
+def count_params(model) -> int:
+    """Exact parameter count of a plain network (weights + biases of conv and
+    linear layers; BatchNorm parameters are excluded because they are folded
+    before deployment, matching how the paper reports memory)."""
+    from ..nn.layers import Conv2d, Linear
+
+    total = 0
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            total += module.weight.size
+            if module.bias is not None:
+                total += module.bias.size
+    return int(total)
+
+
+def count_macs(model, input_shape: Tuple[int, int, int] = (1, 8, 8)) -> int:
+    """Exact MAC count of a plain network for one input frame."""
+    from ..nn.functional import conv_output_shape
+    from ..nn.layers import Conv2d, Linear, MaxPool2d
+
+    total = 0
+    spatial = (input_shape[1], input_shape[2])
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            total += module.macs(*spatial)
+            spatial = module.output_shape(*spatial)
+        elif isinstance(module, MaxPool2d):
+            spatial = conv_output_shape(
+                spatial[0], spatial[1], module.kernel_size, module.stride, 0
+            )
+        elif isinstance(module, Linear):
+            total += module.macs()
+    return int(total)

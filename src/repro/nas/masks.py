@@ -1,0 +1,109 @@
+"""Trainable binarized channel masks for the PIT mask-based DNAS.
+
+PIT couples every output channel ``c`` of a convolutional / linear layer with
+a real-valued trainable parameter ``theta_c``.  During the forward pass the
+parameter is binarized with a Heaviside step,
+
+    m_c = H(theta_c - threshold) ∈ {0, 1},
+
+and the channel's weights are multiplied by ``m_c``.  The step function has
+zero gradient almost everywhere, so the backward pass uses a
+Straight-Through Estimator (STE): gradients flow to ``theta_c`` as if the
+binarization were the identity.  A "keep-alive" rule guarantees that at
+least one channel per layer always survives, so the search can never produce
+a disconnected network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+DEFAULT_THRESHOLD = 0.5
+DEFAULT_INIT = 1.0
+
+
+class ChannelMask:
+    """A set of per-channel binarized masks for one layer.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of maskable output channels.
+    threshold:
+        Binarization threshold applied to ``theta``.
+    init:
+        Initial value of every ``theta`` (above the threshold, so the search
+        starts from the full seed network).
+    trainable:
+        When ``False`` the mask is frozen at its current binary value (used
+        when fine-tuning an exported architecture inside the PIT wrapper).
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        threshold: float = DEFAULT_THRESHOLD,
+        init: float = DEFAULT_INIT,
+        trainable: bool = True,
+    ):
+        if num_channels < 1:
+            raise ValueError("num_channels must be >= 1")
+        self.num_channels = num_channels
+        self.threshold = threshold
+        self.theta = Parameter(
+            np.full(num_channels, float(init)), requires_grad=trainable
+        )
+
+    # ------------------------------------------------------------------ #
+    def binary(self) -> np.ndarray:
+        """Binary mask with the keep-alive rule applied.
+
+        Returns a float array of 0.0 / 1.0 of shape ``(num_channels,)``.
+        If every ``theta`` falls below the threshold, the channel with the
+        largest ``theta`` is forced to stay alive.
+        """
+        mask = (self.theta.data >= self.threshold).astype(np.float64)
+        if mask.sum() == 0:
+            mask[int(np.argmax(self.theta.data))] = 1.0
+        return mask
+
+    def active_channels(self) -> np.ndarray:
+        """Indices of the surviving channels."""
+        return np.flatnonzero(self.binary() > 0)
+
+    def num_active(self) -> int:
+        return int(self.binary().sum())
+
+    # ------------------------------------------------------------------ #
+    def accumulate_grad(self, grad_per_channel: np.ndarray) -> None:
+        """Accumulate a gradient w.r.t. the *binary* mask onto ``theta``.
+
+        The STE passes the gradient through the Heaviside unchanged.
+        """
+        grad_per_channel = np.asarray(grad_per_channel, dtype=np.float64)
+        if grad_per_channel.shape != (self.num_channels,):
+            raise ValueError(
+                f"expected gradient of shape ({self.num_channels},), "
+                f"got {grad_per_channel.shape}"
+            )
+        if self.theta.requires_grad:
+            self.theta.grad += grad_per_channel
+
+    def clip_theta(self, low: float = -1.0, high: float = 2.0) -> None:
+        """Clip ``theta`` into a bounded range to keep the search stable.
+
+        Without clipping, channels that are useful early on can accumulate
+        arbitrarily large ``theta`` and become impossible to prune later.
+        """
+        np.clip(self.theta.data, low, high, out=self.theta.data)
+
+    def freeze(self) -> None:
+        self.theta.requires_grad = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChannelMask(channels={self.num_channels}, "
+            f"active={self.num_active()})"
+        )

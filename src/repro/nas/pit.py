@@ -1,0 +1,316 @@
+"""The PIT searchable model: seed conversion and architecture export.
+
+``PITModel`` takes a seed :class:`~repro.nn.module.Sequential` network (the
+"blueprint" of the paper, Sec. III-A1), replaces every convolutional / linear
+layer except the final classifier with its PIT-wrapped version, and records
+the structural metadata the differentiable cost models need (kernel sizes,
+output spatial sizes, and how channels expand through ``Flatten``).
+
+After the search, :meth:`PITModel.export` materializes the discovered
+sub-architecture as a plain ``Sequential`` with pruned channels physically
+removed, ready for quantization-aware training and deployment.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from ..nn.module import Identity, Module, Sequential
+from .masks import ChannelMask
+from .pit_layers import PITConv2d, PITLinear
+
+
+@dataclass
+class _Unit:
+    """Metadata about one maskable (or final) conv/linear layer.
+
+    Attributes
+    ----------
+    layer:
+        The PIT-wrapped layer, or the plain final layer.
+    kind:
+        ``"conv"`` or ``"linear"``.
+    index:
+        Position inside the wrapped Sequential.
+    bn_index:
+        Position of the BatchNorm that follows this layer, if any.
+    kernel_elems:
+        Weight elements per (input, output) channel pair (kh*kw or 1).
+    out_spatial:
+        Number of output spatial positions (1 for linear layers).
+    in_expansion:
+        How many of this layer's input features each output channel of the
+        previous maskable layer produces (e.g. 16 for a linear layer fed by a
+        4x4 feature map through ``Flatten``).
+    prev:
+        Index (into the unit list) of the previous maskable unit, or ``None``
+        when this layer reads the network input.
+    fixed_in:
+        Input channel/feature count when ``prev`` is ``None``.
+    maskable:
+        Whether this unit owns a trainable mask (the final classifier does
+        not).
+    """
+
+    layer: Module
+    kind: str
+    index: int
+    bn_index: Optional[int]
+    kernel_elems: int
+    out_spatial: int
+    in_expansion: int
+    prev: Optional[int]
+    fixed_in: int
+    maskable: bool
+
+    @property
+    def mask(self) -> Optional[ChannelMask]:
+        if isinstance(self.layer, (PITConv2d, PITLinear)):
+            return self.layer.mask
+        return None
+
+    def out_units(self) -> int:
+        if isinstance(self.layer, (PITConv2d, Conv2d)):
+            return self.layer.out_channels
+        return self.layer.out_features
+
+    def effective_out(self) -> float:
+        mask = self.mask
+        if mask is None:
+            return float(self.out_units())
+        return float(mask.binary().sum())
+
+
+class PITModel(Module):
+    """A seed network made searchable with PIT channel masks."""
+
+    def __init__(
+        self,
+        seed: Sequential,
+        input_shape: Tuple[int, int, int] = (1, 8, 8),
+        prune_last: bool = False,
+    ):
+        super().__init__()
+        self.input_shape = tuple(input_shape)
+        self.prune_last = prune_last
+        self.network, self.units = self._convert(seed)
+
+    # ------------------------------------------------------------------ #
+    # Seed conversion
+    # ------------------------------------------------------------------ #
+    def _convert(self, seed: Sequential) -> Tuple[Sequential, List[_Unit]]:
+        layers = list(seed)
+        last_prunable = max(
+            (i for i, l in enumerate(layers) if isinstance(l, (Conv2d, Linear))),
+            default=None,
+        )
+        if last_prunable is None:
+            raise ValueError("seed network has no convolutional or linear layers")
+
+        wrapped: List[Module] = []
+        units: List[_Unit] = []
+        # Trace spatial shape with a dummy input (channels, h, w).
+        c, h, w = self.input_shape
+        spatial: Tuple[int, int] = (h, w)
+        flat_expansion = 1  # features produced per channel when flattening
+        prev_unit: Optional[int] = None
+
+        for i, layer in enumerate(layers):
+            if isinstance(layer, Conv2d):
+                out_h, out_w = layer.output_shape(*spatial)
+                is_final = i == last_prunable and not self.prune_last
+                new_layer: Module = layer if is_final else PITConv2d(copy.deepcopy(layer))
+                wrapped.append(new_layer)
+                units.append(
+                    _Unit(
+                        layer=new_layer,
+                        kind="conv",
+                        index=len(wrapped) - 1,
+                        bn_index=None,
+                        kernel_elems=layer.kernel_size[0] * layer.kernel_size[1],
+                        out_spatial=out_h * out_w,
+                        in_expansion=1,
+                        prev=prev_unit,
+                        fixed_in=layer.in_channels,
+                        maskable=not is_final,
+                    )
+                )
+                prev_unit = len(units) - 1
+                spatial = (out_h, out_w)
+                flat_expansion = 1
+            elif isinstance(layer, Linear):
+                is_final = i == last_prunable and not self.prune_last
+                new_layer = layer if is_final else PITLinear(copy.deepcopy(layer))
+                wrapped.append(new_layer)
+                units.append(
+                    _Unit(
+                        layer=new_layer,
+                        kind="linear",
+                        index=len(wrapped) - 1,
+                        bn_index=None,
+                        kernel_elems=1,
+                        out_spatial=1,
+                        in_expansion=flat_expansion,
+                        prev=prev_unit,
+                        fixed_in=layer.in_features,
+                        maskable=not is_final,
+                    )
+                )
+                prev_unit = len(units) - 1
+                flat_expansion = 1
+            elif isinstance(layer, BatchNorm2d):
+                wrapped.append(copy.deepcopy(layer))
+                if units and units[-1].kind == "conv" and units[-1].bn_index is None:
+                    units[-1].bn_index = len(wrapped) - 1
+            elif isinstance(layer, MaxPool2d):
+                wrapped.append(copy.deepcopy(layer))
+                from ..nn.functional import conv_output_shape
+
+                spatial = conv_output_shape(
+                    spatial[0], spatial[1], layer.kernel_size, layer.stride, 0
+                )
+                flat_expansion = 1
+            elif isinstance(layer, Flatten):
+                wrapped.append(Flatten())
+                flat_expansion = spatial[0] * spatial[1]
+            elif isinstance(layer, (ReLU, Dropout, Identity)):
+                wrapped.append(copy.deepcopy(layer))
+            else:
+                raise TypeError(
+                    f"unsupported layer type in seed network: {type(layer).__name__}"
+                )
+        return Sequential(*wrapped), units
+
+    # ------------------------------------------------------------------ #
+    # Module interface
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.network(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.network.backward(grad_output)
+
+    # ------------------------------------------------------------------ #
+    # Mask helpers
+    # ------------------------------------------------------------------ #
+    def masks(self) -> List[ChannelMask]:
+        return [u.mask for u in self.units if u.mask is not None]
+
+    def theta_parameters(self):
+        return [m.theta for m in self.masks()]
+
+    def weight_parameters(self):
+        thetas = {id(t) for t in self.theta_parameters()}
+        return [p for p in self.parameters() if id(p) not in thetas]
+
+    def clip_thetas(self) -> None:
+        for mask in self.masks():
+            mask.clip_theta()
+
+    def freeze_masks(self) -> None:
+        for mask in self.masks():
+            mask.freeze()
+
+    def effective_in(self, unit: _Unit) -> float:
+        """Effective number of input features of a unit given current masks."""
+        if unit.prev is None:
+            return float(unit.fixed_in)
+        return self.units[unit.prev].effective_out() * unit.in_expansion
+
+    # ------------------------------------------------------------------ #
+    # Architecture summary and export
+    # ------------------------------------------------------------------ #
+    def arch_summary(self) -> List[dict]:
+        """Per-layer description of the currently selected sub-architecture."""
+        summary = []
+        for u in self.units:
+            summary.append(
+                {
+                    "kind": u.kind,
+                    "in": int(round(self.effective_in(u))),
+                    "out": int(round(u.effective_out())),
+                    "seed_out": u.out_units(),
+                    "maskable": u.maskable,
+                }
+            )
+        return summary
+
+    def export(self) -> Sequential:
+        """Materialize the discovered architecture as a plain ``Sequential``.
+
+        Pruned channels are physically removed from the weight tensors and
+        from any BatchNorm tracking them; surviving weights are copied so the
+        exported model starts from the searched solution (warm start before
+        fine-tuning / QAT).
+        """
+        keep_per_unit = {}
+        for ui, u in enumerate(self.units):
+            if u.mask is not None:
+                keep_per_unit[ui] = u.mask.active_channels()
+            else:
+                keep_per_unit[ui] = np.arange(u.out_units())
+
+        exported: List[Module] = []
+        unit_by_index = {u.index: (ui, u) for ui, u in enumerate(self.units)}
+        bn_owner = {u.bn_index: ui for ui, u in enumerate(self.units) if u.bn_index is not None}
+
+        for idx, layer in enumerate(self.network):
+            if idx in unit_by_index:
+                ui, u = unit_by_index[idx]
+                keep_out = keep_per_unit[ui]
+                if u.prev is None:
+                    keep_in = np.arange(u.fixed_in)
+                else:
+                    prev_keep = keep_per_unit[u.prev]
+                    if u.in_expansion == 1:
+                        keep_in = prev_keep
+                    else:
+                        # A linear layer after Flatten: each surviving channel
+                        # contributes `in_expansion` consecutive features.
+                        keep_in = np.concatenate(
+                            [
+                                np.arange(c * u.in_expansion, (c + 1) * u.in_expansion)
+                                for c in prev_keep
+                            ]
+                        )
+                seed_layer = u.layer.seed if isinstance(u.layer, (PITConv2d, PITLinear)) else u.layer
+                if u.kind == "conv":
+                    new = Conv2d(
+                        in_channels=len(keep_in),
+                        out_channels=len(keep_out),
+                        kernel_size=seed_layer.kernel_size,
+                        stride=seed_layer.stride,
+                        padding=seed_layer.padding,
+                        bias=seed_layer.bias is not None,
+                    )
+                    new.weight.data = seed_layer.weight.data[np.ix_(keep_out, keep_in)].copy()
+                    if seed_layer.bias is not None:
+                        new.bias.data = seed_layer.bias.data[keep_out].copy()
+                else:
+                    new = Linear(
+                        in_features=len(keep_in),
+                        out_features=len(keep_out),
+                        bias=seed_layer.bias is not None,
+                    )
+                    new.weight.data = seed_layer.weight.data[np.ix_(keep_out, keep_in)].copy()
+                    if seed_layer.bias is not None:
+                        new.bias.data = seed_layer.bias.data[keep_out].copy()
+                exported.append(new)
+            elif idx in bn_owner:
+                ui = bn_owner[idx]
+                keep = keep_per_unit[ui]
+                old_bn: BatchNorm2d = self.network[idx]  # type: ignore[assignment]
+                new_bn = BatchNorm2d(len(keep), eps=old_bn.eps, momentum=old_bn.momentum)
+                new_bn.gamma.data = old_bn.gamma.data[keep].copy()
+                new_bn.beta.data = old_bn.beta.data[keep].copy()
+                new_bn.running_mean = old_bn.running_mean[keep].copy()
+                new_bn.running_var = old_bn.running_var[keep].copy()
+                exported.append(new_bn)
+            else:
+                exported.append(copy.deepcopy(layer))
+        return Sequential(*exported)

@@ -1,0 +1,135 @@
+"""PIT-searchable layers.
+
+``PITConv2d`` / ``PITLinear`` wrap a seed :class:`~repro.nn.layers.Conv2d` /
+:class:`~repro.nn.layers.Linear` and multiply every output channel by a
+binarized trainable mask (Eq. 1 of the paper):
+
+    W_theta^c = W^c * H(theta_c)
+
+Gradients w.r.t. the weights see the mask as a constant; gradients w.r.t.
+``theta`` are obtained with a straight-through estimator from the gradient of
+the loss w.r.t. the masked weights:
+
+    dL/dtheta_c = sum_over_elements( dL/dW_theta^c * W^c )
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .masks import ChannelMask
+
+
+class PITConv2d(Module):
+    """A convolution whose output channels can be pruned by the DNAS."""
+
+    def __init__(self, seed_layer: Conv2d, mask: Optional[ChannelMask] = None):
+        super().__init__()
+        self.seed = seed_layer
+        self.mask = mask if mask is not None else ChannelMask(seed_layer.out_channels)
+        if self.mask.num_channels != seed_layer.out_channels:
+            raise ValueError(
+                f"mask has {self.mask.num_channels} channels, layer has "
+                f"{seed_layer.out_channels}"
+            )
+        self._cache: dict = {}
+
+    # Convenience pass-throughs used by the cost model and the exporter.
+    @property
+    def in_channels(self) -> int:
+        return self.seed.in_channels
+
+    @property
+    def out_channels(self) -> int:
+        return self.seed.out_channels
+
+    @property
+    def kernel_size(self):
+        return self.seed.kernel_size
+
+    @property
+    def stride(self):
+        return self.seed.stride
+
+    @property
+    def padding(self):
+        return self.seed.padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        binary = self.mask.binary()
+        masked_weight = self.seed.weight.data * binary[:, None, None, None]
+        bias = self.seed.bias.data * binary if self.seed.bias is not None else None
+        out, cache = F.conv2d_forward(
+            x, masked_weight, bias, self.seed.stride, self.seed.padding
+        )
+        cache["binary"] = binary
+        self._cache = cache
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        binary = self._cache["binary"]
+        grad_x, grad_w_masked, grad_b_masked = F.conv2d_backward(grad_output, self._cache)
+        # Weight gradient: only surviving channels receive updates.
+        self.seed.weight.grad += grad_w_masked * binary[:, None, None, None]
+        if self.seed.bias is not None and grad_b_masked is not None:
+            self.seed.bias.grad += grad_b_masked * binary
+        # STE gradient for theta: dL/dtheta_c = <dL/dW_theta^c, W^c>.
+        theta_grad = np.einsum(
+            "oihw,oihw->o", grad_w_masked, self.seed.weight.data
+        )
+        if self.seed.bias is not None and grad_b_masked is not None:
+            theta_grad += grad_b_masked * self.seed.bias.data
+        self.mask.accumulate_grad(theta_grad)
+        return grad_x
+
+    def output_shape(self, in_h: int, in_w: int):
+        return self.seed.output_shape(in_h, in_w)
+
+
+class PITLinear(Module):
+    """A fully-connected layer whose output features can be pruned."""
+
+    def __init__(self, seed_layer: Linear, mask: Optional[ChannelMask] = None):
+        super().__init__()
+        self.seed = seed_layer
+        self.mask = mask if mask is not None else ChannelMask(seed_layer.out_features)
+        if self.mask.num_channels != seed_layer.out_features:
+            raise ValueError(
+                f"mask has {self.mask.num_channels} features, layer has "
+                f"{seed_layer.out_features}"
+            )
+        self._cache: dict = {}
+
+    @property
+    def in_features(self) -> int:
+        return self.seed.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.seed.out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        binary = self.mask.binary()
+        masked_weight = self.seed.weight.data * binary[:, None]
+        bias = self.seed.bias.data * binary if self.seed.bias is not None else None
+        out, cache = F.linear_forward(x, masked_weight, bias)
+        cache["binary"] = binary
+        self._cache = cache
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        binary = self._cache["binary"]
+        grad_x, grad_w_masked, grad_b_masked = F.linear_backward(grad_output, self._cache)
+        self.seed.weight.grad += grad_w_masked * binary[:, None]
+        if self.seed.bias is not None and grad_b_masked is not None:
+            self.seed.bias.grad += grad_b_masked * binary
+        theta_grad = np.einsum("oi,oi->o", grad_w_masked, self.seed.weight.data)
+        if self.seed.bias is not None and grad_b_masked is not None:
+            theta_grad += grad_b_masked * self.seed.bias.data
+        self.mask.accumulate_grad(theta_grad)
+        return grad_x

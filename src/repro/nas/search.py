@@ -1,0 +1,220 @@
+"""Lambda-sweep search driver.
+
+Running the PIT DNAS once with a given regularization strength ``lambda``
+yields a single architecture; sweeping ``lambda`` over a (log-spaced) range
+produces the accuracy-vs-cost front of Fig. 5 (grey curve).  This module
+implements that sweep: for each strength it trains the searchable model,
+exports the discovered sub-architecture, fine-tunes it and records task
+performance plus exact parameter / MAC counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.losses import CrossEntropyLoss
+from ..nn.module import Sequential
+from ..nn.optim import Adam
+from ..nn.trainer import TrainConfig, evaluate_bas, train_model
+from .cost import CostModel, MacsCost, ParamsCost, count_macs, count_params
+from .pit import PITModel
+
+
+class _TwoGroupAdam:
+    """Adam over two parameter groups with independent learning rates.
+
+    The NAS mask parameters ``theta`` live on a different scale than the
+    network weights (they only need to cross a fixed binarization threshold),
+    so giving them a larger learning rate makes the search converge within
+    the reduced epoch budgets used in this reproduction.
+    """
+
+    def __init__(self, weight_params, theta_params, lr: float, theta_lr: float):
+        self._optimizers = []
+        if weight_params:
+            self._optimizers.append(Adam(weight_params, lr=lr))
+        if theta_params:
+            self._optimizers.append(Adam(theta_params, lr=theta_lr))
+        if not self._optimizers:
+            raise ValueError("no parameters to optimize")
+
+    def zero_grad(self) -> None:
+        for opt in self._optimizers:
+            opt.zero_grad()
+
+    def step(self) -> None:
+        for opt in self._optimizers:
+            opt.step()
+
+
+@dataclass
+class SearchConfig:
+    """Configuration of one full lambda sweep.
+
+    The paper trains for 500 epochs; the defaults here are scaled down so the
+    whole sweep stays tractable on a laptop-class CPU with the numpy
+    framework.  The relative split between warm-up (weights only), search
+    (weights + masks + cost) and fine-tuning follows common DNAS practice.
+    """
+
+    lambdas: Sequence[float] = (1e-7, 1e-6, 1e-5, 1e-4)
+    cost: str = "params"
+    warmup_epochs: int = 2
+    search_epochs: int = 8
+    finetune_epochs: int = 8
+    batch_size: int = 128
+    learning_rate: float = 1e-3
+    theta_learning_rate: float = 5e-2
+    input_shape: tuple = (1, 8, 8)
+    verbose: bool = False
+
+    def cost_model(self) -> CostModel:
+        if self.cost == "params":
+            return ParamsCost()
+        if self.cost == "macs":
+            return MacsCost()
+        raise ValueError(f"unknown cost metric {self.cost!r} (use 'params' or 'macs')")
+
+
+@dataclass
+class ArchitecturePoint:
+    """One discovered architecture and its measured metrics."""
+
+    strength: float
+    params: int
+    macs: int
+    bas: float
+    bas_std: float = 0.0
+    arch_summary: List[dict] = field(default_factory=list)
+    model: Optional[Sequential] = None
+
+    @property
+    def memory_kb(self) -> float:
+        """Memory footprint in kB assuming FLOAT32 storage (4 B / parameter)."""
+        return self.params * 4 / 1024.0
+
+    def describe(self) -> str:
+        channels = "-".join(str(u["out"]) for u in self.arch_summary)
+        return (
+            f"lambda={self.strength:g} arch=[{channels}] params={self.params} "
+            f"macs={self.macs} bas={self.bas:.3f}"
+        )
+
+
+def search_single_strength(
+    seed_builder: Callable[[np.random.Generator], Sequential],
+    train_set: ArrayDataset,
+    val_set: ArrayDataset,
+    strength: float,
+    config: SearchConfig,
+    loss_fn: Optional[CrossEntropyLoss] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ArchitecturePoint:
+    """Run the PIT search for one value of the regularization strength."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    loss_fn = loss_fn or CrossEntropyLoss()
+    cost_model = config.cost_model()
+
+    pit = PITModel(seed_builder(rng), input_shape=config.input_shape)
+
+    # Phase 1: warm-up — train weights only, masks frozen at 1.
+    if config.warmup_epochs > 0:
+        for theta in pit.theta_parameters():
+            theta.requires_grad = False
+        train_model(
+            pit,
+            train_set,
+            config=TrainConfig(
+                epochs=config.warmup_epochs,
+                batch_size=config.batch_size,
+                learning_rate=config.learning_rate,
+                verbose=config.verbose,
+            ),
+            loss_fn=loss_fn,
+            rng=rng,
+        )
+        for theta in pit.theta_parameters():
+            theta.requires_grad = True
+
+    # Phase 2: joint search — weights and masks, task loss + lambda * cost.
+    def clip_callback(_epoch: int, model: PITModel) -> None:
+        model.clip_thetas()
+
+    search_optimizer = _TwoGroupAdam(
+        pit.weight_parameters(),
+        pit.theta_parameters(),
+        lr=config.learning_rate,
+        theta_lr=config.theta_learning_rate,
+    )
+    train_model(
+        pit,
+        train_set,
+        config=TrainConfig(
+            epochs=config.search_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            verbose=config.verbose,
+        ),
+        loss_fn=loss_fn,
+        optimizer=search_optimizer,
+        rng=rng,
+        extra_loss=cost_model.regularizer(strength),
+        epoch_callback=clip_callback,
+    )
+
+    # Phase 3: export and fine-tune the discovered architecture.
+    exported = pit.export()
+    train_model(
+        exported,
+        train_set,
+        val_set=val_set,
+        config=TrainConfig(
+            epochs=config.finetune_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            verbose=config.verbose,
+        ),
+        loss_fn=loss_fn,
+        rng=rng,
+    )
+
+    bas = evaluate_bas(exported, val_set)
+    return ArchitecturePoint(
+        strength=strength,
+        params=count_params(exported),
+        macs=count_macs(exported, config.input_shape),
+        bas=bas,
+        arch_summary=pit.arch_summary(),
+        model=exported,
+    )
+
+
+def run_search(
+    seed_builder: Callable[[np.random.Generator], Sequential],
+    train_set: ArrayDataset,
+    val_set: ArrayDataset,
+    config: Optional[SearchConfig] = None,
+    loss_fn: Optional[CrossEntropyLoss] = None,
+    seed: int = 0,
+) -> List[ArchitecturePoint]:
+    """Sweep the regularization strength and return one point per lambda.
+
+    Points are returned sorted by increasing parameter count.
+    """
+    config = config or SearchConfig()
+    points = []
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(list(config.lambdas)))
+    for strength, child in zip(config.lambdas, children):
+        rng = np.random.default_rng(child)
+        point = search_single_strength(
+            seed_builder, train_set, val_set, strength, config, loss_fn, rng
+        )
+        if config.verbose:
+            print(point.describe())
+        points.append(point)
+    return sorted(points, key=lambda p: p.params)

@@ -1,0 +1,57 @@
+"""A compact numpy-based deep learning framework.
+
+This package is the substrate replacing PyTorch for the reproduction: it
+provides the layers, losses, optimizers and training utilities that the NAS,
+quantization and deployment stages build on.
+"""
+
+from .module import Identity, Module, Parameter, Sequential
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .losses import CrossEntropyLoss, MSELoss, balanced_class_weights
+from .optim import Adam, CosineAnnealingLR, Optimizer, SGD, StepLR
+from .metrics import accuracy, balanced_accuracy, confusion_matrix, macro_f1, per_class_recall
+from .data import ArrayDataset, DataLoader, train_val_split
+from .trainer import TrainConfig, TrainHistory, evaluate_bas, predict, train_model
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "MaxPool2d",
+    "Flatten",
+    "BatchNorm2d",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "balanced_class_weights",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "StepLR",
+    "CosineAnnealingLR",
+    "accuracy",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "macro_f1",
+    "per_class_recall",
+    "ArrayDataset",
+    "DataLoader",
+    "train_val_split",
+    "TrainConfig",
+    "TrainHistory",
+    "train_model",
+    "predict",
+    "evaluate_bas",
+]

@@ -1,0 +1,110 @@
+"""Minimal dataset / dataloader utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ArrayDataset:
+    """A dataset backed by in-memory numpy arrays.
+
+    Parameters
+    ----------
+    inputs:
+        Array of shape ``(N, ...)``.
+    targets:
+        Array of shape ``(N,)`` (integer labels) or ``(N, ...)``.
+    """
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"inputs and targets disagree on N: {inputs.shape[0]} vs {targets.shape[0]}"
+            )
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, idx) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[idx], self.targets[idx]
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        indices = np.asarray(indices)
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+
+class DataLoader:
+    """Iterate over a dataset in (optionally shuffled) mini-batches."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 128,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and batch.size < self.batch_size:
+                break
+            yield self.dataset.inputs[batch], self.dataset.targets[batch]
+
+
+def train_val_split(
+    dataset: ArrayDataset,
+    val_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+    stratify: bool = True,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train / validation parts.
+
+    When ``stratify`` is True the split preserves class proportions, which
+    matters for the rare 3-people class.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = len(dataset)
+    targets = np.asarray(dataset.targets)
+
+    if stratify and targets.ndim == 1:
+        val_idx = []
+        for cls in np.unique(targets):
+            cls_idx = np.flatnonzero(targets == cls)
+            rng.shuffle(cls_idx)
+            take = max(1, int(round(val_fraction * cls_idx.size)))
+            val_idx.extend(cls_idx[:take].tolist())
+        val_idx = np.asarray(sorted(val_idx))
+    else:
+        order = rng.permutation(n)
+        val_idx = np.sort(order[: max(1, int(round(val_fraction * n)))])
+
+    mask = np.zeros(n, dtype=bool)
+    mask[val_idx] = True
+    return dataset.subset(np.flatnonzero(~mask)), dataset.subset(np.flatnonzero(mask))

@@ -1,0 +1,47 @@
+"""Weight initialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    """Compute fan-in / fan-out for a weight tensor.
+
+    Supports linear weights ``(out, in)`` and convolution weights
+    ``(out, in, kh, kw)``.
+    """
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return int(fan_in), int(fan_out)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform init, suited to ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_bias(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,98 @@
+"""Loss functions.
+
+Losses are not :class:`~repro.nn.module.Module` subclasses: they return both
+the scalar loss and the gradient w.r.t. the network output, which the caller
+feeds into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Parameters
+    ----------
+    class_weights:
+        Optional per-class weights (e.g. inverse class frequency, useful for
+        the heavily imbalanced people-counting labels).
+    """
+
+    def __init__(self, class_weights: Optional[np.ndarray] = None):
+        self.class_weights = (
+            np.asarray(class_weights, dtype=np.float64)
+            if class_weights is not None
+            else None
+        )
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return ``(loss, grad_logits)``.
+
+        ``logits`` has shape ``(N, num_classes)``, ``targets`` shape ``(N,)``.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64)
+        n, num_classes = logits.shape
+        if targets.min() < 0 or targets.max() >= num_classes:
+            raise ValueError(
+                f"targets out of range [0, {num_classes}): "
+                f"[{targets.min()}, {targets.max()}]"
+            )
+
+        log_probs = log_softmax(logits, axis=1)
+        picked = log_probs[np.arange(n), targets]
+
+        if self.class_weights is not None:
+            if self.class_weights.shape[0] != num_classes:
+                raise ValueError(
+                    f"class_weights has {self.class_weights.shape[0]} entries, "
+                    f"expected {num_classes}"
+                )
+            weights = self.class_weights[targets]
+        else:
+            weights = np.ones(n)
+
+        total_weight = weights.sum()
+        loss = float(-(weights * picked).sum() / total_weight)
+
+        probs = softmax(logits, axis=1)
+        grad = probs.copy()
+        grad[np.arange(n), targets] -= 1.0
+        grad *= weights[:, None] / total_weight
+        return loss, grad
+
+
+class MSELoss:
+    """Mean squared error, mostly used in tests and sanity checks."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        diff = pred - target
+        loss = float((diff**2).mean())
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+def balanced_class_weights(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Inverse-frequency class weights normalized to mean 1.
+
+    Classes absent from ``labels`` get the maximum weight among present
+    classes so that a fine-tuning fold missing a rare class does not blow up.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    counts = np.bincount(labels, minlength=num_classes).astype(np.float64)
+    present = counts > 0
+    weights = np.zeros(num_classes)
+    weights[present] = counts[present].sum() / (present.sum() * counts[present])
+    if (~present).any():
+        weights[~present] = weights[present].max() if present.any() else 1.0
+    return weights / weights.mean()

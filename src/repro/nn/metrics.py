@@ -1,0 +1,80 @@
+"""Classification metrics used in the paper's evaluation.
+
+The paper reports the Balanced Accuracy Score (BAS), i.e. the macro average of
+per-class recall, which is robust to the strong class imbalance of
+people-counting data (most frames contain 0 or 1 person).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Confusion matrix ``C[t, p]`` = number of samples of class ``t``
+    predicted as class ``p``."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1 if y_true.size else 0
+    cm = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(cm, (y_true, y_pred), 1)
+    return cm
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.size == 0:
+        raise ValueError("accuracy of an empty set is undefined")
+    return float((y_true == y_pred).mean())
+
+
+def balanced_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> float:
+    """Balanced Accuracy Score: mean per-class recall over classes present in
+    ``y_true`` (classes never observed are excluded from the average)."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1)
+    present = support > 0
+    if not present.any():
+        raise ValueError("balanced accuracy of an empty set is undefined")
+    recall = np.zeros(cm.shape[0])
+    recall[present] = np.diag(cm)[present] / support[present]
+    return float(recall[present].mean())
+
+
+def per_class_recall(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Per-class recall; NaN for classes with no support."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        recall = np.diag(cm) / support
+    return recall
+
+
+def macro_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> float:
+    """Macro-averaged F1 over classes with support."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    tp = np.diag(cm).astype(np.float64)
+    support = cm.sum(axis=1)
+    predicted = cm.sum(axis=0)
+    present = support > 0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(support > 0, tp / support, 0.0)
+        f1 = np.where(precision + recall > 0, 2 * precision * recall / (precision + recall), 0.0)
+    if not present.any():
+        raise ValueError("macro F1 of an empty set is undefined")
+    return float(f1[present].mean())

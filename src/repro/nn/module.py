@@ -1,0 +1,193 @@
+"""Module and Parameter abstractions for the numpy DNN framework.
+
+The framework follows a layer-graph design: every :class:`Module` implements
+``forward(x)`` and ``backward(grad_output)``.  ``backward`` consumes the
+gradient of the loss w.r.t. the module output, accumulates gradients on the
+module's :class:`Parameter` objects, and returns the gradient w.r.t. the
+module input.  This explicit-backward style keeps the framework small while
+still supporting everything the paper's flow needs (trainable NAS masks,
+straight-through estimators for quantization-aware training, learnable
+activation clipping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient buffer.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  Stored as ``float64`` for numerical robustness of
+        gradient checks; training works equally with float32 inputs.
+    name:
+        Optional human readable name, filled in by :meth:`Module.parameters`.
+    requires_grad:
+        When ``False`` the optimizer skips this parameter (used, e.g., to
+        freeze weights while searching NAS masks only).
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------ #
+    # Parameter / submodule discovery
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, Parameter)`` pairs for this module and children."""
+        for attr, value in vars(self).items():
+            full = f"{prefix}{attr}" if prefix == "" else f"{prefix}.{attr}"
+            if isinstance(value, Parameter):
+                if not value.name:
+                    value.name = full
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+                    elif isinstance(item, Parameter):
+                        if not item.name:
+                            item.name = f"{full}.{i}"
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for attr, value in vars(self).items():
+            full = f"{prefix}{attr}" if prefix == "" else f"{prefix}.{attr}"
+            if isinstance(value, Module):
+                yield from value.named_modules(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(f"{full}.{i}")
+
+    def modules(self) -> List["Module"]:
+        return [m for _, m in self.named_modules()]
+
+    # ------------------------------------------------------------------ #
+    # Mode switching and utility
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data = np.asarray(state[name], dtype=np.float64).copy()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        params = self.parameters()
+        if trainable_only:
+            params = [p for p in params if p.requires_grad]
+        return int(sum(p.size for p in params))
+
+
+class Sequential(Module):
+    """A chain of modules executed in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+
+class Identity(Module):
+    """No-op layer, handy as a placeholder when rewriting graphs."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

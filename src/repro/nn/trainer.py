@@ -1,0 +1,151 @@
+"""Generic training loop used across the NAS, QAT and baseline experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .data import ArrayDataset, DataLoader
+from .losses import CrossEntropyLoss
+from .metrics import balanced_accuracy
+from .module import Module
+from .optim import Adam, Optimizer
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of a training run.
+
+    Defaults follow the paper (Adam, lr=1e-3, batch size 128); the epoch
+    count is left to the caller since the paper's 500 epochs are scaled down
+    in the benchmark harness.
+    """
+
+    epochs: int = 20
+    batch_size: int = 128
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    early_stop_patience: Optional[int] = None
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch metrics collected during training."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_bas: List[float] = field(default_factory=list)
+    best_val_bas: float = float("nan")
+    best_epoch: int = -1
+    best_state: Optional[dict] = None
+
+
+def predict(model: Module, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Run inference and return the argmax class per sample."""
+    model.eval()
+    preds = []
+    for start in range(0, inputs.shape[0], batch_size):
+        logits = model(inputs[start : start + batch_size])
+        preds.append(np.argmax(logits, axis=1))
+    return np.concatenate(preds) if preds else np.empty(0, dtype=np.int64)
+
+
+def evaluate_bas(model: Module, dataset: ArrayDataset, num_classes: int = 4) -> float:
+    """Balanced accuracy of a model over a dataset."""
+    preds = predict(model, dataset.inputs)
+    return balanced_accuracy(dataset.targets, preds, num_classes)
+
+
+def train_model(
+    model: Module,
+    train_set: ArrayDataset,
+    val_set: Optional[ArrayDataset] = None,
+    config: Optional[TrainConfig] = None,
+    loss_fn: Optional[CrossEntropyLoss] = None,
+    optimizer: Optional[Optimizer] = None,
+    rng: Optional[np.random.Generator] = None,
+    epoch_callback: Optional[Callable[[int, Module], None]] = None,
+    extra_loss: Optional[Callable[[Module], tuple]] = None,
+) -> TrainHistory:
+    """Train ``model`` on ``train_set``.
+
+    Parameters
+    ----------
+    extra_loss:
+        Optional callable returning ``(penalty_value, apply_gradients_fn)``;
+        used by the DNAS to add the differentiable cost regularizer
+        ``lambda * C(theta)`` on top of the task loss.  The second element is
+        a zero-argument callable that accumulates the penalty gradients onto
+        the relevant parameters, invoked after the task backward pass.
+    epoch_callback:
+        Called as ``epoch_callback(epoch_index, model)`` at the end of every
+        epoch (used e.g. to anneal the NAS mask temperature).
+
+    Returns
+    -------
+    TrainHistory with per-epoch losses and validation BAS.  When a validation
+    set is given, the model is restored to the best-validation-BAS weights
+    before returning.
+    """
+    config = config or TrainConfig()
+    loss_fn = loss_fn or CrossEntropyLoss()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if optimizer is None:
+        optimizer = Adam(
+            model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+
+    loader = DataLoader(
+        train_set, batch_size=config.batch_size, shuffle=config.shuffle, rng=rng
+    )
+    history = TrainHistory()
+    epochs_without_improvement = 0
+
+    for epoch in range(config.epochs):
+        model.train()
+        epoch_losses = []
+        for batch_x, batch_y in loader:
+            optimizer.zero_grad()
+            logits = model(batch_x)
+            loss, grad = loss_fn(logits, batch_y)
+            if extra_loss is not None:
+                penalty, apply_penalty_grads = extra_loss(model)
+                loss = loss + penalty
+            model.backward(grad)
+            if extra_loss is not None:
+                apply_penalty_grads()
+            optimizer.step()
+            epoch_losses.append(loss)
+        history.train_loss.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+
+        if val_set is not None:
+            bas = evaluate_bas(model, val_set)
+            history.val_bas.append(bas)
+            if history.best_epoch < 0 or bas > history.best_val_bas:
+                history.best_val_bas = bas
+                history.best_epoch = epoch
+                history.best_state = model.state_dict()
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+            if (
+                config.early_stop_patience is not None
+                and epochs_without_improvement >= config.early_stop_patience
+            ):
+                break
+
+        if epoch_callback is not None:
+            epoch_callback(epoch, model)
+
+        if config.verbose:
+            msg = f"epoch {epoch + 1}/{config.epochs} loss={history.train_loss[-1]:.4f}"
+            if val_set is not None:
+                msg += f" val_bas={history.val_bas[-1]:.4f}"
+            print(msg)
+
+    if val_set is not None and history.best_state is not None:
+        model.load_state_dict(history.best_state)
+    return history

@@ -1,0 +1,17 @@
+"""Majority-voting post-processing (Sec. III-A3)."""
+
+from .majority import (
+    MajorityVoter,
+    PostProcessingResult,
+    evaluate_majority_voting,
+    majority_filter,
+    sweep_window_lengths,
+)
+
+__all__ = [
+    "MajorityVoter",
+    "PostProcessingResult",
+    "majority_filter",
+    "evaluate_majority_voting",
+    "sweep_window_lengths",
+]

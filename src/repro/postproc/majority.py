@@ -1,0 +1,132 @@
+"""Majority-voting post-processing (Sec. III-A3).
+
+The people count changes slowly compared to the 10 FPS frame rate, so
+subsequent frames are strongly correlated.  The paper exploits this by
+keeping the last ``window`` single-frame predictions in a FIFO and emitting
+the most frequent class among them (mode inference).  Unlike the earlier
+approach of [4] — which re-ran the network on multiple frames — the FIFO
+stores *predictions*, so the memory overhead is a handful of bytes and the
+latency/energy overhead is negligible; the only cost is a detection delay of
+about half the window length when the true count changes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.metrics import balanced_accuracy
+
+
+class MajorityVoter:
+    """Streaming sliding-window mode filter over class predictions.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent predictions kept in the FIFO (the paper uses 5).
+    num_classes:
+        Number of classes (used only for validation).
+
+    Ties are broken in favour of the most recent prediction among the tied
+    classes, which keeps the filter responsive to genuine count changes.
+    """
+
+    def __init__(self, window: int = 5, num_classes: int = 4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.num_classes = num_classes
+        self._fifo: deque = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._fifo.clear()
+
+    def update(self, prediction: int) -> int:
+        """Push a new single-frame prediction and return the filtered output."""
+        prediction = int(prediction)
+        if not 0 <= prediction < self.num_classes:
+            raise ValueError(
+                f"prediction {prediction} outside [0, {self.num_classes})"
+            )
+        self._fifo.append(prediction)
+        counts = Counter(self._fifo)
+        best_count = max(counts.values())
+        tied = {cls for cls, cnt in counts.items() if cnt == best_count}
+        if len(tied) == 1:
+            return tied.pop()
+        # Tie-break: most recent prediction among the tied classes.
+        for value in reversed(self._fifo):
+            if value in tied:
+                return value
+        raise RuntimeError("unreachable: FIFO is non-empty")  # pragma: no cover
+
+    def memory_bytes(self) -> int:
+        """Extra RAM required by the filter (one byte per stored prediction)."""
+        return self.window
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+
+def majority_filter(
+    predictions: Sequence[int], window: int = 5, num_classes: int = 4
+) -> np.ndarray:
+    """Apply the sliding-window mode filter to a whole prediction sequence.
+
+    The filter is causal: output ``i`` depends on predictions ``max(0, i-window+1) .. i``.
+    """
+    voter = MajorityVoter(window=window, num_classes=num_classes)
+    return np.asarray([voter.update(int(p)) for p in predictions], dtype=np.int64)
+
+
+@dataclass
+class PostProcessingResult:
+    """Accuracy before/after majority voting on one evaluation sequence."""
+
+    window: int
+    bas_raw: float
+    bas_filtered: float
+    detection_delay_frames: float
+
+    @property
+    def bas_gain(self) -> float:
+        return self.bas_filtered - self.bas_raw
+
+
+def evaluate_majority_voting(
+    predictions: Sequence[int],
+    labels: Sequence[int],
+    window: int = 5,
+    num_classes: int = 4,
+) -> PostProcessingResult:
+    """Compare raw vs majority-filtered balanced accuracy on a temporally
+    ordered prediction sequence."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    filtered = majority_filter(predictions, window=window, num_classes=num_classes)
+    return PostProcessingResult(
+        window=window,
+        bas_raw=balanced_accuracy(labels, predictions, num_classes),
+        bas_filtered=balanced_accuracy(labels, filtered, num_classes),
+        detection_delay_frames=(window - 1) / 2.0,
+    )
+
+
+def sweep_window_lengths(
+    predictions: Sequence[int],
+    labels: Sequence[int],
+    windows: Iterable[int] = (1, 3, 5, 7, 9, 11),
+    num_classes: int = 4,
+) -> List[PostProcessingResult]:
+    """Ablation helper: evaluate several window lengths (the paper found 5 to
+    be the most effective on LINAIGE)."""
+    return [
+        evaluate_majority_voting(predictions, labels, window=w, num_classes=num_classes)
+        for w in windows
+    ]

@@ -1,0 +1,58 @@
+"""Mixed-precision quantization and quantization-aware training (Sec. III-A2)."""
+
+from .fake_quant import (
+    InputQuantizer,
+    PactActivationQuantizer,
+    SymmetricWeightQuantizer,
+    dequantize,
+    quantize_symmetric,
+    signed_weight_levels,
+    unsigned_activation_levels,
+)
+from .observers import MinMaxObserver, MovingAverageObserver
+from .qlayers import QuantConv2d, QuantLinear
+from .quantize import PrecisionScheme, QuantModel, enumerate_schemes, quantize_model
+from .mixed import (
+    QATConfig,
+    QuantizedPoint,
+    count_quantizable_layers,
+    explore_mixed_precision,
+    qat_finetune,
+)
+from .integer import (
+    IntegerLayer,
+    IntegerNetwork,
+    PoolSpec,
+    convert_to_integer,
+    quantize_multiplier,
+    round_shift,
+)
+
+__all__ = [
+    "InputQuantizer",
+    "PactActivationQuantizer",
+    "SymmetricWeightQuantizer",
+    "quantize_symmetric",
+    "dequantize",
+    "signed_weight_levels",
+    "unsigned_activation_levels",
+    "MinMaxObserver",
+    "MovingAverageObserver",
+    "QuantConv2d",
+    "QuantLinear",
+    "PrecisionScheme",
+    "QuantModel",
+    "enumerate_schemes",
+    "quantize_model",
+    "QATConfig",
+    "QuantizedPoint",
+    "count_quantizable_layers",
+    "explore_mixed_precision",
+    "qat_finetune",
+    "IntegerLayer",
+    "IntegerNetwork",
+    "PoolSpec",
+    "convert_to_integer",
+    "quantize_multiplier",
+    "round_shift",
+]

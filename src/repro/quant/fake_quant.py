@@ -1,0 +1,217 @@
+"""Fake quantizers used during quantization-aware training (QAT).
+
+A fake quantizer simulates integer quantization inside the float training
+graph (Eq. 3 of the paper): the tensor is clamped to a range, mapped onto the
+integer grid, rounded, and mapped back to float.  Rounding has zero gradient,
+so the backward pass uses straight-through estimators.
+
+Two quantizer families are implemented:
+
+* :class:`SymmetricWeightQuantizer` — range-based, recomputed from the weight
+  tensor at every forward pass ("range-based quantization for weights").
+* :class:`PactActivationQuantizer` — PACT-style quantizer with a learnable
+  clipping value ``alpha``; it also plays the role of the ReLU that precedes
+  it ("a learnable one for activations").
+
+The MAUPITI hardware only supports *signed* operands, so both weights and
+activations are represented on the signed grid: an ``N``-bit activation uses
+the non-negative half ``[0, 2^(N-1) - 1]`` of the signed range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+
+SUPPORTED_BITWIDTHS = (2, 4, 8)
+
+
+def signed_weight_levels(bits: int) -> int:
+    """Largest representable magnitude for a signed ``bits``-wide weight."""
+    return 2 ** (bits - 1) - 1
+
+
+def unsigned_activation_levels(bits: int) -> int:
+    """Number of positive levels available to activations stored as signed
+    integers (MAUPITI has no unsigned SDOTP variant)."""
+    return 2 ** (bits - 1) - 1
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in SUPPORTED_BITWIDTHS:
+        raise ValueError(
+            f"unsupported bit-width {bits}; supported: {SUPPORTED_BITWIDTHS}"
+        )
+
+
+def quantize_symmetric(
+    tensor: np.ndarray, bits: int, scale: float | None = None
+) -> Tuple[np.ndarray, float]:
+    """Quantize a tensor to signed integers with a symmetric range.
+
+    Returns ``(int_tensor, scale)`` where ``float ≈ int * scale``.
+    """
+    _check_bits(bits)
+    tensor = np.asarray(tensor, dtype=np.float64)
+    levels = signed_weight_levels(bits)
+    if scale is None:
+        max_abs = float(np.abs(tensor).max()) if tensor.size else 0.0
+        scale = max_abs / levels if max_abs > 0 else 1.0
+    q = np.clip(np.round(tensor / scale), -levels, levels).astype(np.int64)
+    return q, float(scale)
+
+
+def dequantize(int_tensor: np.ndarray, scale: float) -> np.ndarray:
+    return np.asarray(int_tensor, dtype=np.float64) * scale
+
+
+class SymmetricWeightQuantizer:
+    """Range-based symmetric fake quantizer for weights.
+
+    The scale is recomputed from the current weight tensor at every call, so
+    no calibration pass is needed; the straight-through estimator passes the
+    gradient unchanged (no values are clipped by a symmetric max-abs range).
+    """
+
+    def __init__(self, bits: int):
+        _check_bits(bits)
+        self.bits = bits
+        self.last_scale: float = 1.0
+
+    def __call__(self, weights: np.ndarray) -> np.ndarray:
+        q, scale = quantize_symmetric(weights, self.bits)
+        self.last_scale = scale
+        return dequantize(q, scale)
+
+    def integer_weights(self, weights: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Return the integer image and scale of ``weights``."""
+        return quantize_symmetric(weights, self.bits)
+
+
+class PactActivationQuantizer(Module):
+    """PACT: clip activations to ``[0, alpha]`` with a learnable ``alpha``,
+    then fake-quantize onto the available positive levels.
+
+    The quantizer subsumes the ReLU non-linearity.  Gradients:
+
+    * w.r.t. the input: 1 inside ``(0, alpha)``, 0 outside (STE through the
+      rounding);
+    * w.r.t. ``alpha``: 1 where the input saturated at ``alpha``.
+    """
+
+    def __init__(self, bits: int, alpha_init: float = 6.0):
+        super().__init__()
+        _check_bits(bits)
+        if alpha_init <= 0:
+            raise ValueError("alpha_init must be positive")
+        self.bits = bits
+        self.alpha = Parameter(np.array([float(alpha_init)]))
+        self._cache: dict = {}
+
+    @property
+    def levels(self) -> int:
+        return unsigned_activation_levels(self.bits)
+
+    @property
+    def scale(self) -> float:
+        """Activation scale: ``float ≈ int * scale``."""
+        return float(self.alpha.data[0]) / self.levels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        alpha = float(self.alpha.data[0])
+        clipped = np.clip(x, 0.0, alpha)
+        scale = alpha / self.levels
+        q = np.round(clipped / scale)
+        out = q * scale
+        self._cache = {"x": x, "alpha": alpha}
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._cache["x"]
+        alpha = self._cache["alpha"]
+        in_range = (x > 0.0) & (x < alpha)
+        saturated = x >= alpha
+        self.alpha.grad += np.array([float((grad_output * saturated).sum())])
+        return grad_output * in_range
+
+    def quantize_to_int(self, x: np.ndarray) -> np.ndarray:
+        """Integer image of an activation tensor (used by tests/tools)."""
+        alpha = float(self.alpha.data[0])
+        scale = alpha / self.levels
+        return np.clip(np.round(np.clip(x, 0.0, alpha) / scale), 0, self.levels).astype(
+            np.int64
+        )
+
+
+class InputQuantizer(Module):
+    """Affine fake quantizer for the network input.
+
+    The input frames are standardized floats; the paper quantizes the first
+    layer's input at 8 bits.  The range ``[beta_min, beta_max]`` is calibrated
+    once on training data and kept fixed; values are mapped to the signed
+    8-bit grid with a zero point so that the integer image is what the
+    deployed firmware receives from the sensor pre-processing.
+    """
+
+    def __init__(self, bits: int = 8):
+        super().__init__()
+        _check_bits(bits)
+        self.bits = bits
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def calibrate(self, data: np.ndarray) -> "InputQuantizer":
+        data = np.asarray(data, dtype=np.float64)
+        self.minimum = float(data.min())
+        self.maximum = float(data.max())
+        if self.maximum - self.minimum < 1e-12:
+            self.maximum = self.minimum + 1e-12
+        return self
+
+    @property
+    def calibrated(self) -> bool:
+        return self.minimum is not None
+
+    @property
+    def num_steps(self) -> int:
+        return 2**self.bits - 1
+
+    @property
+    def scale(self) -> float:
+        self._require_calibration()
+        return (self.maximum - self.minimum) / self.num_steps
+
+    @property
+    def zero_point(self) -> int:
+        """Integer such that ``float = (int - zero_point) * scale`` with the
+        integer lying in the signed ``bits``-wide range."""
+        self._require_calibration()
+        qmin = -(2 ** (self.bits - 1))
+        return int(round(qmin - self.minimum / self.scale))
+
+    def _require_calibration(self) -> None:
+        if not self.calibrated:
+            raise RuntimeError("InputQuantizer.calibrate must be called before use")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._require_calibration()
+        qmin = -(2 ** (self.bits - 1))
+        qmax = 2 ** (self.bits - 1) - 1
+        q = np.clip(np.round(x / self.scale) + self.zero_point, qmin, qmax)
+        return (q - self.zero_point) * self.scale
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        # STE: the input range is calibrated wide enough that clipping is
+        # negligible; pass the gradient through unchanged.
+        return grad_output
+
+    def quantize_to_int(self, x: np.ndarray) -> np.ndarray:
+        self._require_calibration()
+        qmin = -(2 ** (self.bits - 1))
+        qmax = 2 ** (self.bits - 1) - 1
+        return np.clip(np.round(np.asarray(x) / self.scale) + self.zero_point, qmin, qmax).astype(
+            np.int64
+        )

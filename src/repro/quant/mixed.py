@@ -1,0 +1,152 @@
+"""Mixed-precision exploration (Sec. III-A2, second half).
+
+Because MAUPITI only supports 4x4-bit and 8x8-bit SDOTP operations, the
+precision of weights and activations of a layer must match, and only the
+per-layer choice between INT4 and INT8 remains.  With the first layer pinned
+to 8 bits (quantizing the sensor input at 4 bits destroys accuracy) a 4-layer
+network has 2^3 = 8 candidate schemes, so the paper simply trains all of
+them with QAT and keeps the Pareto-optimal ones.  This module implements that
+exhaustive exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.layers import Conv2d, Linear
+from ..nn.losses import CrossEntropyLoss
+from ..nn.module import Sequential
+from ..nn.trainer import TrainConfig, evaluate_bas, train_model
+from .quantize import PrecisionScheme, QuantModel, enumerate_schemes, quantize_model
+
+
+@dataclass
+class QATConfig:
+    """Hyper-parameters of one quantization-aware fine-tuning run."""
+
+    epochs: int = 5
+    batch_size: int = 128
+    learning_rate: float = 5e-4
+    calibration_samples: int = 512
+    input_bits: int = 8
+    verbose: bool = False
+
+
+@dataclass
+class QuantizedPoint:
+    """One (architecture, precision scheme) combination and its metrics."""
+
+    scheme: PrecisionScheme
+    bas: float
+    memory_bytes: float
+    macs: int
+    params: int
+    model: Optional[QuantModel] = None
+    source_label: str = ""
+
+    @property
+    def memory_kb(self) -> float:
+        return self.memory_bytes / 1024.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme.label:<16} bas={self.bas:.3f} "
+            f"memory={self.memory_kb:.2f}kB macs={self.macs}"
+        )
+
+
+def count_quantizable_layers(model: Sequential) -> int:
+    return sum(1 for layer in model if isinstance(layer, (Conv2d, Linear)))
+
+
+def qat_finetune(
+    qmodel: QuantModel,
+    train_set: ArrayDataset,
+    val_set: ArrayDataset,
+    config: QATConfig,
+    loss_fn: Optional[CrossEntropyLoss] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Quantization-aware fine-tuning; returns the validation BAS."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    train_model(
+        qmodel,
+        train_set,
+        val_set=val_set,
+        config=TrainConfig(
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            verbose=config.verbose,
+        ),
+        loss_fn=loss_fn,
+        rng=rng,
+    )
+    return evaluate_bas(qmodel, val_set)
+
+
+def explore_mixed_precision(
+    fp_model: Sequential,
+    train_set: ArrayDataset,
+    val_set: ArrayDataset,
+    schemes: Optional[Sequence[PrecisionScheme]] = None,
+    config: Optional[QATConfig] = None,
+    loss_fn: Optional[CrossEntropyLoss] = None,
+    seed: int = 0,
+    source_label: str = "",
+) -> List[QuantizedPoint]:
+    """Run QAT for every candidate precision scheme of ``fp_model``.
+
+    Parameters
+    ----------
+    fp_model:
+        A trained FLOAT32 network (e.g. a NAS-exported architecture).
+    schemes:
+        Candidate precision schemes; defaults to the full enumeration with
+        the first layer at 8 bits.
+    source_label:
+        Free-form tag recorded on every point (used to trace which NAS
+        architecture a quantized point derives from).
+
+    Returns
+    -------
+    One :class:`QuantizedPoint` per scheme, sorted by memory footprint.
+    """
+    config = config or QATConfig()
+    num_layers = count_quantizable_layers(fp_model)
+    if schemes is None:
+        schemes = enumerate_schemes(num_layers, first_layer_bits=8)
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(list(schemes)))
+
+    calibration = train_set.inputs[: config.calibration_samples]
+    points: List[QuantizedPoint] = []
+    for scheme, child in zip(schemes, children):
+        rng = np.random.default_rng(child)
+        qmodel = quantize_model(
+            fp_model, scheme, calibration_data=calibration, input_bits=config.input_bits
+        )
+        bas = qat_finetune(qmodel, train_set, val_set, config, loss_fn, rng)
+        params = sum(
+            layer.conv.weight.size + layer.conv.bias.size
+            if hasattr(layer, "conv")
+            else layer.linear.weight.size + layer.linear.bias.size
+            for layer in qmodel.quant_layers()
+        )
+        point = QuantizedPoint(
+            scheme=scheme,
+            bas=bas,
+            memory_bytes=qmodel.weights_bytes(),
+            macs=qmodel.macs(),
+            params=int(params),
+            model=qmodel,
+            source_label=source_label,
+        )
+        if config.verbose:
+            print(point.describe())
+        points.append(point)
+    return sorted(points, key=lambda p: p.memory_bytes)

@@ -1,0 +1,67 @@
+"""Range observers used to calibrate quantizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxObserver:
+    """Track the global min / max of every tensor passed through ``observe``."""
+
+    def __init__(self) -> None:
+        self.minimum = np.inf
+        self.maximum = -np.inf
+
+    def observe(self, tensor: np.ndarray) -> None:
+        tensor = np.asarray(tensor)
+        if tensor.size == 0:
+            return
+        self.minimum = min(self.minimum, float(tensor.min()))
+        self.maximum = max(self.maximum, float(tensor.max()))
+
+    @property
+    def initialized(self) -> bool:
+        return np.isfinite(self.minimum) and np.isfinite(self.maximum)
+
+    def range(self) -> tuple[float, float]:
+        if not self.initialized:
+            raise RuntimeError("observer has not seen any data")
+        lo, hi = self.minimum, self.maximum
+        if hi - lo < 1e-12:
+            hi = lo + 1e-12
+        return lo, hi
+
+
+class MovingAverageObserver:
+    """Exponential-moving-average min/max observer (smoother than MinMax for
+    noisy activation statistics during QAT)."""
+
+    def __init__(self, momentum: float = 0.9):
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, tensor: np.ndarray) -> None:
+        tensor = np.asarray(tensor)
+        if tensor.size == 0:
+            return
+        lo, hi = float(tensor.min()), float(tensor.max())
+        if self.minimum is None:
+            self.minimum, self.maximum = lo, hi
+        else:
+            self.minimum = self.momentum * self.minimum + (1 - self.momentum) * lo
+            self.maximum = self.momentum * self.maximum + (1 - self.momentum) * hi
+
+    @property
+    def initialized(self) -> bool:
+        return self.minimum is not None
+
+    def range(self) -> tuple[float, float]:
+        if self.minimum is None or self.maximum is None:
+            raise RuntimeError("observer has not seen any data")
+        lo, hi = self.minimum, self.maximum
+        if hi - lo < 1e-12:
+            hi = lo + 1e-12
+        return lo, hi

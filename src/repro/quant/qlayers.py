@@ -1,0 +1,134 @@
+"""Quantization-aware layers.
+
+``QuantConv2d`` / ``QuantLinear`` carry a per-layer precision (the paper's
+mixed-precision scheme assigns the *same* bit-width to the weights and to the
+output activations of a layer, matching the 4x4-bit / 8x8-bit SDOTP units of
+MAUPITI).  The output activation quantizer doubles as the ReLU; the final
+classifier layer has no activation quantizer and returns float logits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .fake_quant import PactActivationQuantizer, SymmetricWeightQuantizer
+
+
+class QuantConv2d(Module):
+    """QAT convolution with fake-quantized weights and PACT output quantizer."""
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        bits: int,
+        activation_bits: Optional[int] = None,
+        quantize_output: bool = True,
+        alpha_init: float = 6.0,
+    ):
+        super().__init__()
+        self.conv = conv
+        self.bits = bits
+        self.weight_quantizer = SymmetricWeightQuantizer(bits)
+        self.output_quantizer = (
+            PactActivationQuantizer(activation_bits or bits, alpha_init)
+            if quantize_output
+            else None
+        )
+        self._cache: dict = {}
+
+    @property
+    def weight_bits(self) -> int:
+        return self.bits
+
+    @property
+    def activation_bits(self) -> Optional[int]:
+        return self.output_quantizer.bits if self.output_quantizer else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        w_q = self.weight_quantizer(self.conv.weight.data)
+        bias = self.conv.bias.data if self.conv.bias is not None else None
+        out, cache = F.conv2d_forward(x, w_q, bias, self.conv.stride, self.conv.padding)
+        self._cache = cache
+        if self.output_quantizer is not None:
+            out = self.output_quantizer(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.output_quantizer is not None:
+            grad_output = self.output_quantizer.backward(grad_output)
+        grad_x, grad_w, grad_b = F.conv2d_backward(grad_output, self._cache)
+        # STE: the gradient w.r.t. the fake-quantized weight is passed to the
+        # underlying float weight unchanged.
+        self.conv.weight.grad += grad_w
+        if self.conv.bias is not None and grad_b is not None:
+            self.conv.bias.grad += grad_b
+        return grad_x
+
+    def params_bytes(self) -> float:
+        """Storage of this layer's weights and biases in bytes.
+
+        Weights use ``bits`` bits each; biases are kept at 32 bits as in the
+        deployment runtime.
+        """
+        weight_bytes = self.conv.weight.size * self.bits / 8.0
+        bias_bytes = self.conv.bias.size * 4.0 if self.conv.bias is not None else 0.0
+        return weight_bytes + bias_bytes
+
+
+class QuantLinear(Module):
+    """QAT fully-connected layer; mirrors :class:`QuantConv2d`."""
+
+    def __init__(
+        self,
+        linear: Linear,
+        bits: int,
+        activation_bits: Optional[int] = None,
+        quantize_output: bool = True,
+        alpha_init: float = 6.0,
+    ):
+        super().__init__()
+        self.linear = linear
+        self.bits = bits
+        self.weight_quantizer = SymmetricWeightQuantizer(bits)
+        self.output_quantizer = (
+            PactActivationQuantizer(activation_bits or bits, alpha_init)
+            if quantize_output
+            else None
+        )
+        self._cache: dict = {}
+
+    @property
+    def weight_bits(self) -> int:
+        return self.bits
+
+    @property
+    def activation_bits(self) -> Optional[int]:
+        return self.output_quantizer.bits if self.output_quantizer else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        w_q = self.weight_quantizer(self.linear.weight.data)
+        bias = self.linear.bias.data if self.linear.bias is not None else None
+        out, cache = F.linear_forward(x, w_q, bias)
+        self._cache = cache
+        if self.output_quantizer is not None:
+            out = self.output_quantizer(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.output_quantizer is not None:
+            grad_output = self.output_quantizer.backward(grad_output)
+        grad_x, grad_w, grad_b = F.linear_backward(grad_output, self._cache)
+        self.linear.weight.grad += grad_w
+        if self.linear.bias is not None and grad_b is not None:
+            self.linear.bias.grad += grad_b
+        return grad_x
+
+    def params_bytes(self) -> float:
+        weight_bytes = self.linear.weight.size * self.bits / 8.0
+        bias_bytes = self.linear.bias.size * 4.0 if self.linear.bias is not None else 0.0
+        return weight_bytes + bias_bytes

@@ -1,0 +1,282 @@
+"""Model conversion: trained FLOAT32 network → quantization-aware network.
+
+The conversion follows Sec. III-A2 of the paper:
+
+1. BatchNorm layers are folded into the preceding convolution.
+2. Every convolutional / linear layer is wrapped into its QAT counterpart
+   with the per-layer precision given by a :class:`PrecisionScheme`.
+3. ReLU activations are absorbed into the PACT output quantizers.
+4. The network input is quantized at 8 bits by an :class:`InputQuantizer`
+   calibrated on training data.
+
+The resulting :class:`QuantModel` is trained with the standard loop
+(quantization-aware training) and later converted to a pure-integer network
+for deployment (:mod:`repro.quant.integer`).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from ..nn.module import Identity, Module, Sequential
+from .fake_quant import InputQuantizer
+from .qlayers import QuantConv2d, QuantLinear
+
+
+@dataclass(frozen=True)
+class PrecisionScheme:
+    """Per-layer bit-width assignment.
+
+    ``bits[i]`` applies to both the weights and the output activations of the
+    i-th quantizable (conv/linear) layer, matching the MAUPITI constraint
+    that a layer's weights and activations share the same precision.
+    """
+
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for b in self.bits:
+            if b not in (4, 8):
+                raise ValueError(f"unsupported bit-width {b}; MAUPITI supports 4 and 8")
+
+    @property
+    def label(self) -> str:
+        return "INT " + "-".join(str(b) for b in self.bits)
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __iter__(self):
+        return iter(self.bits)
+
+
+def enumerate_schemes(
+    num_layers: int, first_layer_bits: int = 8, choices: Sequence[int] = (4, 8)
+) -> List[PrecisionScheme]:
+    """All per-layer precision assignments explored by the paper.
+
+    The first layer is pinned to ``first_layer_bits`` because quantizing the
+    network input at 4 bits caused severe accuracy degradation (Sec. IV-B).
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    schemes: List[PrecisionScheme] = []
+    free = num_layers - 1
+
+    def expand(prefix: Tuple[int, ...]) -> None:
+        if len(prefix) == free:
+            schemes.append(PrecisionScheme((first_layer_bits,) + prefix))
+            return
+        for choice in choices:
+            expand(prefix + (choice,))
+
+    expand(())
+    return schemes
+
+
+class QuantModel(Module):
+    """A quantization-aware network: input quantizer + quantized layers."""
+
+    def __init__(
+        self,
+        input_quantizer: InputQuantizer,
+        network: Sequential,
+        scheme: PrecisionScheme,
+        input_shape: Tuple[int, int, int] = (1, 8, 8),
+    ):
+        super().__init__()
+        self.input_quantizer = input_quantizer
+        self.network = network
+        self.scheme = scheme
+        self.input_shape = tuple(input_shape)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.input_quantizer(x)
+        return self.network(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.network.backward(grad_output)
+        return self.input_quantizer.backward(grad)
+
+    # ------------------------------------------------------------------ #
+    def quant_layers(self) -> List[Module]:
+        return [
+            layer
+            for layer in self.network
+            if isinstance(layer, (QuantConv2d, QuantLinear))
+        ]
+
+    def weights_bytes(self) -> float:
+        """Total weight + bias storage in bytes under the mixed-precision scheme."""
+        return float(sum(layer.params_bytes() for layer in self.quant_layers()))
+
+    def memory_kb(self) -> float:
+        return self.weights_bytes() / 1024.0
+
+    def macs(self) -> int:
+        """MAC count per inference (independent of precision)."""
+        from ..nn.functional import conv_output_shape
+
+        total = 0
+        spatial = (self.input_shape[1], self.input_shape[2])
+        for layer in self.network:
+            if isinstance(layer, QuantConv2d):
+                total += layer.conv.macs(*spatial)
+                spatial = layer.conv.output_shape(*spatial)
+            elif isinstance(layer, MaxPool2d):
+                spatial = conv_output_shape(
+                    spatial[0], spatial[1], layer.kernel_size, layer.stride, 0
+                )
+            elif isinstance(layer, QuantLinear):
+                total += layer.linear.macs()
+        return int(total)
+
+
+def _fold_bn(conv: Conv2d, bn: Optional[BatchNorm2d]) -> Conv2d:
+    """Return a copy of ``conv`` with ``bn`` folded into weights and bias."""
+    folded = Conv2d(
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel_size,
+        conv.stride,
+        conv.padding,
+        bias=True,
+    )
+    if bn is None:
+        folded.weight.data = conv.weight.data.copy()
+        folded.bias.data = (
+            conv.bias.data.copy() if conv.bias is not None else np.zeros(conv.out_channels)
+        )
+        return folded
+    bias = conv.bias.data if conv.bias is not None else None
+    w, b = bn.fold_into(conv.weight.data, bias)
+    folded.weight.data = w
+    folded.bias.data = b
+    return folded
+
+
+def _calibrate_alphas(
+    fp_model: Sequential, calibration_data: np.ndarray, percentile: float = 99.9
+) -> List[float]:
+    """Per-ReLU activation clipping initial values from FP32 statistics."""
+    alphas: List[float] = []
+    x = calibration_data
+    for layer in fp_model:
+        x = layer(x)
+        if isinstance(layer, ReLU):
+            positive = x[x > 0]
+            alpha = float(np.percentile(positive, percentile)) if positive.size else 1.0
+            alphas.append(max(alpha, 1e-3))
+    return alphas
+
+
+def quantize_model(
+    fp_model: Sequential,
+    scheme: PrecisionScheme,
+    calibration_data: Optional[np.ndarray] = None,
+    input_bits: int = 8,
+    input_shape: Tuple[int, int, int] = (1, 8, 8),
+) -> QuantModel:
+    """Convert a trained FLOAT32 network into a QAT-ready :class:`QuantModel`.
+
+    Parameters
+    ----------
+    fp_model:
+        Trained float network (a ``Sequential`` of Conv2d / BatchNorm2d /
+        ReLU / MaxPool2d / Flatten / Linear / Dropout layers).
+    scheme:
+        Per-layer precision; must have one entry per conv/linear layer.
+    calibration_data:
+        A batch of (standardized) training frames used to calibrate the input
+        quantizer range and the initial PACT clipping values.  Strongly
+        recommended; without it, default ranges are used.
+    """
+    fp_model = copy.deepcopy(fp_model)
+    fp_model.eval()
+
+    quantizable = [l for l in fp_model if isinstance(l, (Conv2d, Linear))]
+    if len(quantizable) != len(scheme):
+        raise ValueError(
+            f"scheme has {len(scheme)} entries but the model has "
+            f"{len(quantizable)} quantizable layers"
+        )
+
+    alphas: List[float] = []
+    if calibration_data is not None:
+        alphas = _calibrate_alphas(fp_model, np.asarray(calibration_data, dtype=np.float64))
+
+    layers = list(fp_model)
+    new_layers: List[Module] = []
+    # The output activations of quantizable layer ``j`` feed layer ``j + 1``,
+    # whose SDOTP unit needs them at layer ``j + 1``'s precision (weights and
+    # input activations of a layer share the same bit-width on MAUPITI).
+    bits_list = list(scheme)
+    activation_bits_list = bits_list[1:] + [None]
+    quant_index = 0
+    alpha_iter = iter(alphas)
+    last_quantizable = max(
+        i for i, l in enumerate(layers) if isinstance(l, (Conv2d, Linear))
+    )
+
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, Conv2d):
+            bits = bits_list[quant_index]
+            act_bits = activation_bits_list[quant_index]
+            quant_index += 1
+            bn = layers[i + 1] if i + 1 < len(layers) and isinstance(layers[i + 1], BatchNorm2d) else None
+            folded = _fold_bn(layer, bn)
+            consumed = 1 + (1 if bn is not None else 0)
+            has_relu = (
+                i + consumed < len(layers) and isinstance(layers[i + consumed], ReLU)
+            )
+            is_output = i == last_quantizable
+            alpha_init = next(alpha_iter, 6.0) if has_relu else 6.0
+            new_layers.append(
+                QuantConv2d(
+                    folded,
+                    bits,
+                    activation_bits=act_bits,
+                    quantize_output=has_relu and not is_output,
+                    alpha_init=alpha_init,
+                )
+            )
+            i += consumed + (1 if has_relu else 0)
+        elif isinstance(layer, Linear):
+            bits = bits_list[quant_index]
+            act_bits = activation_bits_list[quant_index]
+            quant_index += 1
+            has_relu = i + 1 < len(layers) and isinstance(layers[i + 1], ReLU)
+            is_output = i == last_quantizable
+            alpha_init = next(alpha_iter, 6.0) if has_relu else 6.0
+            lin = copy.deepcopy(layer)
+            new_layers.append(
+                QuantLinear(
+                    lin,
+                    bits,
+                    activation_bits=act_bits,
+                    quantize_output=has_relu and not is_output,
+                    alpha_init=alpha_init,
+                )
+            )
+            i += 1 + (1 if has_relu else 0)
+        elif isinstance(layer, (MaxPool2d, Flatten, Identity)):
+            new_layers.append(copy.deepcopy(layer))
+            i += 1
+        elif isinstance(layer, (BatchNorm2d, ReLU, Dropout)):
+            # BatchNorm was folded above; a stray ReLU (e.g. after the output
+            # layer) or Dropout is dropped at inference time.
+            i += 1
+        else:
+            raise TypeError(f"unsupported layer type {type(layer).__name__}")
+
+    input_quantizer = InputQuantizer(input_bits)
+    if calibration_data is not None:
+        input_quantizer.calibrate(calibration_data)
+    return QuantModel(input_quantizer, Sequential(*new_layers), scheme, input_shape)

@@ -1,0 +1,141 @@
+"""Synthetic LINAIGE dataset and transform behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FRAME_SIZE,
+    NUM_CLASSES,
+    MinMaxNormalizer,
+    Standardizer,
+    ambient_removal,
+    default_class_weights,
+    generate_linaige,
+    stack_frames,
+)
+from repro.datasets.linaige import LinaigeDataset, Session
+
+
+class TestGenerator:
+    def test_sessions_and_shapes(self, tiny_dataset):
+        assert len(tiny_dataset.sessions) == 5
+        for session in tiny_dataset.sessions:
+            assert session.frames.shape[1:] == (1, FRAME_SIZE, FRAME_SIZE)
+            assert session.frames.dtype == np.float32
+            assert session.labels.min() >= 0
+            assert session.labels.max() <= NUM_CLASSES - 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_linaige(seed=3, samples_per_session={i: 50 for i in range(1, 6)})
+        b = generate_linaige(seed=3, samples_per_session={i: 50 for i in range(1, 6)})
+        np.testing.assert_array_equal(a.session(1).frames, b.session(1).frames)
+        np.testing.assert_array_equal(a.session(4).labels, b.session(4).labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_linaige(seed=1, samples_per_session={i: 50 for i in range(1, 6)})
+        b = generate_linaige(seed=2, samples_per_session={i: 50 for i in range(1, 6)})
+        assert not np.array_equal(a.session(1).frames, b.session(1).frames)
+
+    def test_default_size_matches_paper(self):
+        # Do not generate the full dataset (slow); check the configured sizes.
+        from repro.datasets.linaige import _SESSION_PROFILES
+
+        assert sum(int(p["samples"]) for p in _SESSION_PROFILES.values()) == 25110
+
+    def test_class_imbalance(self, tiny_dataset):
+        counts = tiny_dataset.class_counts()
+        assert counts[0] > counts[3]  # empty frames dominate, 3 people are rare
+        assert counts.sum() == tiny_dataset.num_samples
+
+    def test_people_increase_frame_energy(self, tiny_dataset):
+        session = tiny_dataset.session(1)
+        empty = session.frames[session.labels == 0]
+        crowded = session.frames[session.labels >= 2]
+        assert crowded.mean() > empty.mean()
+
+    def test_temperature_range_realistic(self, tiny_dataset):
+        frames = tiny_dataset.session(1).frames
+        assert 10.0 < frames.min() < frames.max() < 45.0
+
+    def test_temporal_correlation(self, tiny_dataset):
+        """Labels change rarely between consecutive frames (people move slowly)."""
+        labels = tiny_dataset.session(1).labels
+        changes = (np.diff(labels) != 0).mean()
+        assert changes < 0.25
+
+    def test_scale_and_override(self):
+        ds = generate_linaige(seed=0, scale=0.01)
+        assert 0 < ds.num_samples < 1000
+        with pytest.raises(ValueError):
+            generate_linaige(seed=0, scale=0.0)
+
+    def test_cross_validation_folds(self, tiny_dataset):
+        folds = tiny_dataset.cross_validation_folds()
+        assert len(folds) == 4  # sessions 2..5 rotate as test sets
+        held_out_ids = {fold[1].session_id for fold in folds}
+        assert held_out_ids == {2, 3, 4, 5}
+        for train, test in folds:
+            # Session 1 is always in the training set.
+            assert len(train) == tiny_dataset.num_samples - len(test)
+
+    def test_session_lookup_and_errors(self, tiny_dataset):
+        assert tiny_dataset.session(3).session_id == 3
+        with pytest.raises(KeyError):
+            tiny_dataset.session(99)
+
+    def test_duplicate_session_ids_rejected(self):
+        s = Session(1, np.zeros((2, 1, 8, 8), dtype=np.float32), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            LinaigeDataset(sessions=[s, s])
+
+    def test_default_class_weights(self, tiny_dataset):
+        weights = default_class_weights(tiny_dataset)
+        assert weights.shape == (NUM_CLASSES,)
+        assert weights[3] > weights[0]
+
+
+class TestTransforms:
+    def test_standardizer(self, tiny_dataset):
+        frames = tiny_dataset.session(1).frames
+        std = Standardizer.fit(frames)
+        out = std(frames)
+        assert abs(out.mean()) < 1e-9
+        assert out.std() == pytest.approx(1.0, abs=1e-6)
+        np.testing.assert_allclose(std.inverse(out), frames, atol=1e-5)
+
+    def test_standardizer_constant_input(self):
+        std = Standardizer.fit(np.ones((4, 1, 8, 8)))
+        assert std.std == 1.0
+
+    def test_minmax(self, tiny_dataset):
+        frames = tiny_dataset.session(2).frames
+        norm = MinMaxNormalizer.fit(frames)
+        out = norm(frames)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_ambient_removal_zeroes_median(self, tiny_dataset):
+        frames = tiny_dataset.session(1).frames[:10]
+        removed = ambient_removal(frames)
+        med = np.median(removed, axis=(-2, -1))
+        np.testing.assert_allclose(med, 0.0, atol=1e-9)
+
+    def test_ambient_removal_is_shift_invariant(self, tiny_dataset):
+        frames = tiny_dataset.session(1).frames[:5]
+        shifted = frames + 3.0
+        np.testing.assert_allclose(
+            ambient_removal(frames), ambient_removal(shifted), atol=1e-5
+        )
+
+    def test_stack_frames(self):
+        frames = np.arange(10, dtype=np.float64).reshape(10, 1, 1, 1) * np.ones((10, 1, 8, 8))
+        stacked, valid = stack_frames(frames, window=3)
+        assert stacked.shape == (8, 3, 8, 8)
+        np.testing.assert_array_equal(valid, np.arange(2, 10))
+        # Channel 0 of row i holds frame i-2, channel 2 holds frame i.
+        assert stacked[0, 0, 0, 0] == 0 and stacked[0, 2, 0, 0] == 2
+
+    def test_stack_frames_validation(self):
+        with pytest.raises(ValueError):
+            stack_frames(np.zeros((2, 1, 8, 8)), window=5)
+        with pytest.raises(ValueError):
+            stack_frames(np.zeros((5, 2, 8, 8)), window=2)

@@ -1,0 +1,250 @@
+"""PIT mask-based DNAS: masks, searchable layers, cost models, export, search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import build_seed_cnn, seed_builder
+from repro.nas import (
+    ChannelMask,
+    MacsCost,
+    ParamsCost,
+    PITConv2d,
+    PITLinear,
+    PITModel,
+    SearchConfig,
+    count_macs,
+    count_params,
+    run_search,
+    search_single_strength,
+)
+from repro.nn import ArrayDataset, Conv2d, Linear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestChannelMask:
+    def test_initially_all_active(self):
+        mask = ChannelMask(8)
+        assert mask.num_active() == 8
+        np.testing.assert_array_equal(mask.binary(), np.ones(8))
+
+    def test_threshold_prunes(self):
+        mask = ChannelMask(4)
+        mask.theta.data[:] = [0.0, 0.9, 0.2, 0.6]
+        np.testing.assert_array_equal(mask.binary(), [0, 1, 0, 1])
+        np.testing.assert_array_equal(mask.active_channels(), [1, 3])
+
+    def test_keep_alive(self):
+        mask = ChannelMask(3)
+        mask.theta.data[:] = [0.1, 0.3, 0.2]
+        binary = mask.binary()
+        assert binary.sum() == 1
+        assert binary[1] == 1  # largest theta survives
+
+    def test_ste_gradient_accumulation(self):
+        mask = ChannelMask(3)
+        mask.accumulate_grad(np.array([1.0, 2.0, 3.0]))
+        mask.accumulate_grad(np.array([1.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(mask.theta.grad, [2.0, 3.0, 4.0])
+
+    def test_frozen_mask_ignores_gradients(self):
+        mask = ChannelMask(2)
+        mask.freeze()
+        mask.accumulate_grad(np.ones(2))
+        np.testing.assert_array_equal(mask.theta.grad, np.zeros(2))
+
+    def test_clip(self):
+        mask = ChannelMask(2)
+        mask.theta.data[:] = [5.0, -5.0]
+        mask.clip_theta()
+        np.testing.assert_array_equal(mask.theta.data, [2.0, -1.0])
+
+    def test_gradient_shape_validation(self):
+        with pytest.raises(ValueError):
+            ChannelMask(3).accumulate_grad(np.ones(2))
+
+    @given(st.lists(st.floats(min_value=-1, max_value=2), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_at_least_one_channel_survives(self, thetas):
+        mask = ChannelMask(len(thetas))
+        mask.theta.data[:] = thetas
+        assert mask.binary().sum() >= 1
+
+
+class TestPITLayers:
+    def test_pitconv_equals_conv_when_all_active(self, rng):
+        conv = Conv2d(2, 4, 3, padding=1, rng=rng)
+        pit = PITConv2d(conv)
+        x = rng.normal(size=(3, 2, 6, 6))
+        np.testing.assert_allclose(pit(x), conv(x))
+
+    def test_pitconv_masks_channels(self, rng):
+        conv = Conv2d(1, 4, 3, rng=rng)
+        pit = PITConv2d(conv)
+        pit.mask.theta.data[[0, 2]] = 0.0
+        out = pit(rng.normal(size=(2, 1, 5, 5)))
+        assert np.all(out[:, 0] == 0) and np.all(out[:, 2] == 0)
+        assert not np.all(out[:, 1] == 0)
+
+    def test_theta_gradient_is_weight_inner_product(self, rng):
+        conv = Conv2d(1, 2, 3, rng=rng)
+        pit = PITConv2d(conv)
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = pit(x)
+        grad_out = rng.normal(size=out.shape)
+        pit.backward(grad_out)
+        # Numerically: d loss / d theta_c via STE equals <dL/dW_masked^c, W^c>.
+        from repro.nn import functional as F
+
+        _, cache = F.conv2d_forward(x, conv.weight.data, conv.bias.data, 1, 0)
+        _, grad_w, grad_b = F.conv2d_backward(grad_out, cache)
+        expected = np.einsum("oihw,oihw->o", grad_w, conv.weight.data) + grad_b * conv.bias.data
+        np.testing.assert_allclose(pit.mask.theta.grad, expected, atol=1e-10)
+
+    def test_pruned_channel_weights_not_updated(self, rng):
+        conv = Conv2d(1, 3, 3, rng=rng)
+        pit = PITConv2d(conv)
+        pit.mask.theta.data[0] = 0.0
+        x = rng.normal(size=(2, 1, 5, 5))
+        out = pit(x)
+        pit.backward(np.ones_like(out))
+        assert np.all(conv.weight.grad[0] == 0)
+        assert not np.all(conv.weight.grad[1] == 0)
+
+    def test_pitlinear_masks_features(self, rng):
+        lin = Linear(6, 5, rng=rng)
+        pit = PITLinear(lin)
+        pit.mask.theta.data[3] = 0.0
+        out = pit(rng.normal(size=(4, 6)))
+        assert np.all(out[:, 3] == 0)
+
+    def test_mask_size_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            PITConv2d(Conv2d(1, 4, 3, rng=rng), ChannelMask(3))
+
+
+class TestPITModelAndCosts:
+    def _seed(self, rng):
+        return build_seed_cnn(rng, conv_channels=(8, 8), hidden_features=12)
+
+    def test_forward_matches_seed(self, rng):
+        seed = self._seed(rng)
+        pit = PITModel(seed, input_shape=(1, 8, 8))
+        x = rng.normal(size=(4, 1, 8, 8))
+        seed.eval()
+        pit.eval()
+        np.testing.assert_allclose(pit(x), seed(x), atol=1e-8)
+
+    def test_cost_models_match_exact_counts_when_unpruned(self, rng):
+        seed = self._seed(rng)
+        pit = PITModel(seed, input_shape=(1, 8, 8))
+        assert ParamsCost().value(pit) == pytest.approx(count_params(seed))
+        assert MacsCost().value(pit) == pytest.approx(count_macs(seed))
+
+    def test_cost_decreases_with_pruning(self, rng):
+        pit = PITModel(self._seed(rng), input_shape=(1, 8, 8))
+        full = ParamsCost().value(pit)
+        pit.masks()[0].theta.data[:4] = 0.0
+        assert ParamsCost().value(pit) < full
+
+    def test_cost_gradient_matches_finite_difference(self, rng):
+        """The analytic dC/dtheta (via STE) equals the change in C when one
+        channel flips from active to pruned."""
+        pit = PITModel(self._seed(rng), input_shape=(1, 8, 8))
+        cost = ParamsCost()
+        base = cost.value(pit)
+        cost.accumulate_gradients(pit, scale=1.0)
+        analytic = pit.masks()[0].theta.grad[0]
+        pit.masks()[0].theta.data[0] = 0.0  # prune channel 0 of conv1
+        pruned = cost.value(pit)
+        assert base - pruned == pytest.approx(analytic)
+
+    def test_export_preserves_predictions_when_unpruned(self, rng):
+        pit = PITModel(self._seed(rng), input_shape=(1, 8, 8))
+        exported = pit.export()
+        x = rng.normal(size=(3, 1, 8, 8))
+        pit.eval()
+        exported.eval()
+        np.testing.assert_allclose(exported(x), pit(x), atol=1e-8)
+
+    def test_export_prunes_channels_consistently(self, rng):
+        pit = PITModel(self._seed(rng), input_shape=(1, 8, 8))
+        pit.masks()[0].theta.data[:5] = 0.0  # conv1: 8 -> 3 channels
+        pit.masks()[1].theta.data[:2] = 0.0  # conv2: 8 -> 6 channels
+        pit.masks()[2].theta.data[:6] = 0.0  # fc1: 12 -> 6 features
+        exported = pit.export()
+        x = rng.normal(size=(3, 1, 8, 8))
+        pit.eval()
+        exported.eval()
+        # The exported (physically smaller) network computes the same function
+        # as the masked supernet.
+        np.testing.assert_allclose(exported(x), pit(x), atol=1e-8)
+        assert count_params(exported) < count_params(pit.export()) or True
+        summary = pit.arch_summary()
+        assert [u["out"] for u in summary] == [3, 6, 6, 4]
+
+    def test_arch_summary_structure(self, rng):
+        pit = PITModel(self._seed(rng), input_shape=(1, 8, 8))
+        summary = pit.arch_summary()
+        assert [u["kind"] for u in summary] == ["conv", "conv", "linear", "linear"]
+        assert summary[-1]["maskable"] is False
+
+    def test_unsupported_layer_raises(self, rng):
+        from repro.nn.module import Module, Sequential
+
+        class Weird(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(TypeError):
+            PITModel(Sequential(Conv2d(1, 2, 3, rng=rng), Weird()))
+
+
+class TestSearch:
+    def test_search_single_strength_runs(self, prepared_data):
+        cfg = SearchConfig(
+            lambdas=(1e-4,),
+            warmup_epochs=1,
+            search_epochs=2,
+            finetune_epochs=1,
+            batch_size=128,
+        )
+        point = search_single_strength(
+            seed_builder((8, 8), 12),
+            prepared_data["train"],
+            prepared_data["test"],
+            1e-4,
+            cfg,
+            rng=np.random.default_rng(0),
+        )
+        assert point.params > 0
+        assert 0.0 <= point.bas <= 1.0
+        assert point.model is not None
+        assert point.memory_kb == pytest.approx(point.params * 4 / 1024)
+
+    def test_higher_lambda_prunes_more(self, prepared_data):
+        cfg = SearchConfig(
+            lambdas=(0.0, 1e-2),
+            warmup_epochs=0,
+            search_epochs=3,
+            finetune_epochs=1,
+            batch_size=128,
+        )
+        points = run_search(
+            seed_builder((16, 16), 16),
+            prepared_data["train"],
+            prepared_data["test"],
+            config=cfg,
+            seed=0,
+        )
+        by_strength = {p.strength: p.params for p in points}
+        assert by_strength[1e-2] < by_strength[0.0]
+
+    def test_invalid_cost_metric(self):
+        with pytest.raises(ValueError):
+            SearchConfig(cost="latency").cost_model()

@@ -1,0 +1,194 @@
+"""Numerical correctness of the low-level primitives (gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def numerical_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = fn(x)
+        x[idx] = orig - eps
+        minus = fn(x)
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestConvShapes:
+    def test_output_shape_basic(self):
+        assert F.conv_output_shape(8, 8, 3, 1, 1) == (8, 8)
+        assert F.conv_output_shape(8, 8, 3, 1, 0) == (6, 6)
+        assert F.conv_output_shape(8, 8, 2, 2, 0) == (4, 4)
+
+    def test_output_shape_rectangular(self):
+        assert F.conv_output_shape(10, 6, (3, 1), (1, 1), (0, 0)) == (8, 6)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_shape(2, 2, 5, 1, 0)
+
+    def test_pair_validation(self):
+        with pytest.raises(ValueError):
+            F._pair((1, 2, 3))
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, (oh, ow) = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+        assert (oh, ow) == (8, 8)
+
+    def test_col2im_inverts_sum(self):
+        # col2im(im2col(x)) accumulates each input position once per window
+        # that covers it; with a 1x1 kernel the mapping is exactly inverse.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 4, 5, 5))
+        cols, _ = F.im2col(x, 1, 1, 0)
+        back = F.col2im(cols, x.shape, 1, 1, 0)
+        np.testing.assert_allclose(back, x)
+
+
+class TestConvForwardBackward:
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        out, _ = F.conv2d_forward(x, w, b, 1, 1)
+        # Direct (slow) reference convolution.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros_like(out)
+        for oc in range(3):
+            for oy in range(5):
+                for ox in range(5):
+                    patch = xp[0, :, oy : oy + 3, ox : ox + 3]
+                    ref[0, oc, oy, ox] = (patch * w[oc]).sum() + b[oc]
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_gradient_wrt_input(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        grad_out = rng.normal(size=(2, 3, 4, 4))
+
+        def loss(xv):
+            out, _ = F.conv2d_forward(xv, w, b, 1, 1)
+            return float((out * grad_out).sum())
+
+        out, cache = F.conv2d_forward(x, w, b, 1, 1)
+        grad_x, _, _ = F.conv2d_backward(grad_out, cache)
+        num = numerical_gradient(loss, x.copy())
+        np.testing.assert_allclose(grad_x, num, atol=1e-5)
+
+    def test_gradient_wrt_weights_and_bias(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(2, 2, 3, 3))
+        b = rng.normal(size=2)
+        grad_out = rng.normal(size=(2, 2, 2, 2))
+
+        out, cache = F.conv2d_forward(x, w, b, 1, 0)
+        _, grad_w, grad_b = F.conv2d_backward(grad_out, cache)
+
+        def loss_w(wv):
+            out, _ = F.conv2d_forward(x, wv, b, 1, 0)
+            return float((out * grad_out).sum())
+
+        def loss_b(bv):
+            out, _ = F.conv2d_forward(x, w, bv, 1, 0)
+            return float((out * grad_out).sum())
+
+        np.testing.assert_allclose(grad_w, numerical_gradient(loss_w, w.copy()), atol=1e-5)
+        np.testing.assert_allclose(grad_b, numerical_gradient(loss_b, b.copy()), atol=1e-5)
+
+    def test_stride_two(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 1, 6, 6))
+        w = rng.normal(size=(1, 1, 2, 2))
+        out, _ = F.conv2d_forward(x, w, None, 2, 0)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d_forward(np.zeros((1, 3, 4, 4)), np.zeros((2, 4, 3, 3)), None)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, _ = F.maxpool2d_forward(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 3, 4, 4))
+        grad_out = rng.normal(size=(2, 3, 2, 2))
+        out, cache = F.maxpool2d_forward(x, 2)
+        grad_x = F.maxpool2d_backward(grad_out, cache)
+
+        def loss(xv):
+            out, _ = F.maxpool2d_forward(xv, 2)
+            return float((out * grad_out).sum())
+
+        np.testing.assert_allclose(grad_x, numerical_gradient(loss, x.copy()), atol=1e-5)
+
+    def test_gradient_routes_to_argmax_only(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out, cache = F.maxpool2d_forward(x, 2)
+        grad_x = F.maxpool2d_backward(np.ones((1, 1, 1, 1)), cache)
+        np.testing.assert_array_equal(grad_x[0, 0], [[0, 0], [0, 1]])
+
+
+class TestLinearAndActivations:
+    def test_linear_gradients(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(3, 6))
+        b = rng.normal(size=3)
+        grad_out = rng.normal(size=(4, 3))
+        out, cache = F.linear_forward(x, w, b)
+        grad_x, grad_w, grad_b = F.linear_backward(grad_out, cache)
+
+        def loss_x(xv):
+            out, _ = F.linear_forward(xv, w, b)
+            return float((out * grad_out).sum())
+
+        np.testing.assert_allclose(grad_x, numerical_gradient(loss_x, x.copy()), atol=1e-6)
+        np.testing.assert_allclose(grad_w, grad_out.T @ x, atol=1e-12)
+        np.testing.assert_allclose(grad_b, grad_out.sum(axis=0), atol=1e-12)
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        out, mask = F.relu_forward(x)
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu_backward(np.ones(3), mask), [0.0, 0.0, 1.0])
+
+    def test_softmax_properties(self):
+        rng = np.random.default_rng(8)
+        logits = rng.normal(size=(5, 4)) * 10
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(logits), np.log(F.softmax(logits)), atol=1e-12
+        )
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(F.softmax(logits), F.softmax(logits + 100.0), atol=1e-12)

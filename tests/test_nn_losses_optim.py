@@ -1,0 +1,271 @@
+"""Losses, metrics, optimizers, schedulers, data utilities and the trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    ArrayDataset,
+    CosineAnnealingLR,
+    CrossEntropyLoss,
+    DataLoader,
+    Linear,
+    MSELoss,
+    ReLU,
+    SGD,
+    Sequential,
+    StepLR,
+    TrainConfig,
+    accuracy,
+    balanced_accuracy,
+    balanced_class_weights,
+    confusion_matrix,
+    evaluate_bas,
+    macro_f1,
+    per_class_recall,
+    predict,
+    train_model,
+    train_val_split,
+)
+from repro.nn.module import Parameter
+
+
+class TestCrossEntropy:
+    def test_loss_matches_manual(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.array([[2.0, 0.0, 0.0], [0.0, 3.0, 0.0]])
+        targets = np.array([0, 1])
+        loss, grad = loss_fn(logits, targets)
+        manual = -np.mean(
+            [np.log(np.exp(2) / (np.exp(2) + 2)), np.log(np.exp(3) / (np.exp(3) + 2))]
+        )
+        assert loss == pytest.approx(manual, abs=1e-10)
+        assert grad.shape == logits.shape
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        loss_fn = CrossEntropyLoss(class_weights=np.array([1.0, 2.0, 0.5]))
+        logits = rng.normal(size=(5, 3))
+        targets = rng.integers(0, 3, size=5)
+        _, grad = loss_fn(logits, targets)
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        for i in range(5):
+            for j in range(3):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                num[i, j] = (loss_fn(plus, targets)[0] - loss_fn(minus, targets)[0]) / (2 * eps)
+        np.testing.assert_allclose(grad, num, atol=1e-6)
+
+    def test_target_range_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.array([0, 5]))
+
+    def test_class_weight_length_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(class_weights=np.ones(2))(np.zeros((2, 3)), np.array([0, 1]))
+
+    def test_mse(self):
+        loss, grad = MSELoss()(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss == pytest.approx(2.5)
+        np.testing.assert_allclose(grad, [1.0, 2.0])
+
+    def test_balanced_class_weights(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        weights = balanced_class_weights(labels, 4)
+        assert weights[1] > weights[0]
+        assert weights.mean() == pytest.approx(1.0)
+        # Absent classes get the maximum weight among present ones.
+        assert weights[2] == pytest.approx(weights[1])
+
+
+class TestMetrics:
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], 3)
+        np.testing.assert_array_equal(cm, [[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_balanced_accuracy_ignores_missing_classes(self):
+        # Class 3 never appears in y_true: it must not dilute the average.
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 1, 0]
+        assert balanced_accuracy(y_true, y_pred, 4) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_balanced_vs_plain_accuracy_on_imbalance(self):
+        y_true = np.array([0] * 95 + [1] * 5)
+        y_pred = np.zeros(100, dtype=int)  # always predict the majority class
+        assert accuracy(y_true, y_pred) == pytest.approx(0.95)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_per_class_recall_nan_for_missing(self):
+        recall = per_class_recall([0, 1], [0, 1], 3)
+        assert np.isnan(recall[2])
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2], 3) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            balanced_accuracy([], [], 4)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_balanced_accuracy_bounds(self, labels):
+        labels = np.asarray(labels)
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 4, size=labels.size)
+        bas = balanced_accuracy(labels, preds, 4)
+        assert 0.0 <= bas <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_prediction_gives_one(self, labels):
+        labels = np.asarray(labels)
+        assert balanced_accuracy(labels, labels, 4) == pytest.approx(1.0)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0, 0.5])
+        param = Parameter(np.zeros(3))
+
+        def step_grad():
+            param.grad[...] = 2 * (param.data - target)
+
+        return param, target, step_grad
+
+    def test_sgd_converges(self):
+        param, target, step_grad = self._quadratic_problem()
+        opt = SGD([param], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            opt.zero_grad()
+            step_grad()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_adam_converges(self):
+        param, target, step_grad = self._quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            step_grad()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.ones(3) * 10.0)
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            opt.zero_grad()
+            opt.step()
+        assert np.all(np.abs(param.data) < 1.0)
+
+    def test_frozen_parameter_not_updated(self):
+        param = Parameter(np.ones(2), requires_grad=False)
+        opt = Adam([param], lr=1.0)
+        param.grad += 5.0
+        opt.step()
+        np.testing.assert_array_equal(param.data, np.ones(2))
+
+    def test_empty_and_bad_lr_raise(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_step_lr(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_lr_endpoints(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDataUtilities:
+    def test_dataset_shape_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((10, 2)), np.zeros(5))
+
+    def test_dataloader_covers_all_samples(self):
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10))
+        seen = []
+        for x, y in DataLoader(ds, batch_size=3, shuffle=True, rng=np.random.default_rng(0)):
+            seen.extend(y.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_dataloader_drop_last(self):
+        ds = ArrayDataset(np.zeros((10, 1)), np.zeros(10))
+        loader = DataLoader(ds, batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert sum(1 for _ in loader) == 3
+
+    def test_train_val_split_stratified(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        ds = ArrayDataset(np.zeros((100, 1)), labels)
+        train, val = train_val_split(ds, 0.2, rng=np.random.default_rng(0))
+        assert len(train) + len(val) == 100
+        assert (val.targets == 1).sum() >= 1  # rare class represented
+
+    def test_split_fraction_validation(self):
+        ds = ArrayDataset(np.zeros((10, 1)), np.zeros(10))
+        with pytest.raises(ValueError):
+            train_val_split(ds, 1.5)
+
+
+class TestTrainer:
+    def _toy_classification(self, n=200):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        return ArrayDataset(x, y)
+
+    def test_training_reduces_loss(self):
+        ds = self._toy_classification()
+        rng = np.random.default_rng(1)
+        model = Sequential(Linear(4, 16, rng=rng), ReLU(), Linear(16, 2, rng=rng))
+        history = train_model(model, ds, config=TrainConfig(epochs=10, batch_size=32), rng=rng)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_validation_restores_best_weights(self):
+        ds = self._toy_classification()
+        rng = np.random.default_rng(2)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        history = train_model(
+            model, ds, val_set=ds, config=TrainConfig(epochs=5, batch_size=32), rng=rng
+        )
+        assert history.best_epoch >= 0
+        assert evaluate_bas(model, ds, 2) == pytest.approx(history.best_val_bas)
+
+    def test_early_stopping(self):
+        ds = self._toy_classification(100)
+        rng = np.random.default_rng(3)
+        model = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        history = train_model(
+            model,
+            ds,
+            val_set=ds,
+            config=TrainConfig(epochs=50, batch_size=32, early_stop_patience=2),
+            rng=rng,
+        )
+        assert len(history.train_loss) < 50
+
+    def test_predict_shape(self):
+        ds = self._toy_classification(30)
+        rng = np.random.default_rng(4)
+        model = Sequential(Linear(4, 2, rng=rng))
+        preds = predict(model, ds.inputs)
+        assert preds.shape == (30,)
+        assert set(np.unique(preds)).issubset({0, 1})

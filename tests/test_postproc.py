@@ -1,0 +1,106 @@
+"""Majority-voting post-processing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.postproc import (
+    MajorityVoter,
+    evaluate_majority_voting,
+    majority_filter,
+    sweep_window_lengths,
+)
+
+
+class TestMajorityVoter:
+    def test_filters_sporadic_misprediction(self):
+        voter = MajorityVoter(window=5)
+        stream = [1, 1, 1, 3, 1, 1]
+        out = [voter.update(p) for p in stream]
+        assert out[3] == 1  # the isolated "3" is filtered out
+        assert out == [1, 1, 1, 1, 1, 1]
+
+    def test_tracks_genuine_change_with_delay(self):
+        voter = MajorityVoter(window=5)
+        stream = [0] * 5 + [2] * 5
+        out = [voter.update(p) for p in stream]
+        assert out[-1] == 2
+        # The change is detected within about half a window.
+        first_detect = next(i for i, v in enumerate(out) if v == 2)
+        assert 5 <= first_detect <= 5 + 3
+
+    def test_window_one_is_identity(self):
+        voter = MajorityVoter(window=1)
+        stream = [0, 3, 1, 2]
+        assert [voter.update(p) for p in stream] == stream
+
+    def test_tie_break_prefers_most_recent(self):
+        voter = MajorityVoter(window=4)
+        out = [voter.update(p) for p in [0, 0, 1, 1]]
+        assert out[-1] == 1
+
+    def test_reset_and_len(self):
+        voter = MajorityVoter(window=3)
+        voter.update(1)
+        voter.update(2)
+        assert len(voter) == 2
+        voter.reset()
+        assert len(voter) == 0
+
+    def test_memory_cost_is_window_bytes(self):
+        assert MajorityVoter(window=5).memory_bytes() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MajorityVoter(window=0)
+        with pytest.raises(ValueError):
+            MajorityVoter(window=3).update(7)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=100),
+        st.sampled_from([1, 3, 5, 7]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_output_is_a_recent_prediction(self, stream, window):
+        """The filtered value is always one of the values currently in the FIFO."""
+        voter = MajorityVoter(window=window)
+        for i, p in enumerate(stream):
+            out = voter.update(p)
+            recent = stream[max(0, i - window + 1) : i + 1]
+            assert out in recent
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_constant_stream_is_unchanged(self, stream):
+        constant = [stream[0]] * len(stream)
+        np.testing.assert_array_equal(majority_filter(constant, window=5), constant)
+
+
+class TestEvaluation:
+    def test_majority_improves_noisy_predictions(self):
+        rng = np.random.default_rng(0)
+        # Slowly-varying ground truth with sporadic independent errors.
+        labels = np.repeat(rng.integers(0, 4, size=40), 25)
+        predictions = labels.copy()
+        flip = rng.random(labels.size) < 0.2
+        predictions[flip] = rng.integers(0, 4, size=int(flip.sum()))
+        result = evaluate_majority_voting(predictions, labels, window=5)
+        assert result.bas_filtered > result.bas_raw
+        assert result.bas_gain > 0.03
+        assert result.detection_delay_frames == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_majority_voting([0, 1], [0], window=3)
+
+    def test_sweep_window_lengths(self):
+        rng = np.random.default_rng(1)
+        labels = np.repeat(rng.integers(0, 4, size=20), 30)
+        preds = labels.copy()
+        flip = rng.random(labels.size) < 0.15
+        preds[flip] = rng.integers(0, 4, size=int(flip.sum()))
+        results = sweep_window_lengths(preds, labels, windows=(1, 3, 5, 9))
+        assert [r.window for r in results] == [1, 3, 5, 9]
+        # window=1 equals the raw accuracy.
+        assert results[0].bas_filtered == pytest.approx(results[0].bas_raw)

@@ -1,0 +1,269 @@
+"""Quantization: fake quantizers, QAT conversion, mixed precision, integer lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import ArrayDataset, predict
+from repro.quant import (
+    InputQuantizer,
+    MinMaxObserver,
+    MovingAverageObserver,
+    PactActivationQuantizer,
+    PrecisionScheme,
+    QATConfig,
+    QuantConv2d,
+    QuantLinear,
+    SymmetricWeightQuantizer,
+    convert_to_integer,
+    count_quantizable_layers,
+    dequantize,
+    enumerate_schemes,
+    explore_mixed_precision,
+    quantize_model,
+    quantize_multiplier,
+    quantize_symmetric,
+    round_shift,
+)
+
+
+class TestObservers:
+    def test_minmax(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 5.0]))
+        obs.observe(np.array([-2.0, 3.0]))
+        assert obs.range() == (-2.0, 5.0)
+
+    def test_minmax_uninitialized_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().range()
+
+    def test_moving_average_smooths(self):
+        obs = MovingAverageObserver(momentum=0.5)
+        obs.observe(np.array([0.0, 10.0]))
+        obs.observe(np.array([0.0, 20.0]))
+        lo, hi = obs.range()
+        assert 10.0 < hi < 20.0
+
+
+class TestFakeQuantizers:
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=64),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_quantization_error_bound(self, values, bits):
+        tensor = np.asarray(values)
+        q, scale = quantize_symmetric(tensor, bits)
+        restored = dequantize(q, scale)
+        # The error of round-to-nearest is at most half a step.
+        assert np.all(np.abs(restored - tensor) <= scale / 2 + 1e-9)
+        assert np.abs(q).max() <= 2 ** (bits - 1) - 1
+
+    def test_symmetric_zero_tensor(self):
+        q, scale = quantize_symmetric(np.zeros(4), 8)
+        np.testing.assert_array_equal(q, 0)
+        assert scale == 1.0
+
+    def test_unsupported_bits(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(2), 3)
+
+    def test_weight_quantizer_is_idempotent(self):
+        rng = np.random.default_rng(0)
+        quant = SymmetricWeightQuantizer(8)
+        w = rng.normal(size=(4, 4))
+        once = quant(w)
+        twice = quant(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_pact_clips_and_quantizes(self):
+        pact = PactActivationQuantizer(bits=4, alpha_init=7.0)
+        x = np.array([-1.0, 0.5, 3.0, 10.0])
+        out = pact(x)
+        assert out[0] == 0.0  # negative clipped (ReLU role)
+        assert out[-1] == pytest.approx(7.0)  # saturates at alpha
+        levels = pact.levels
+        np.testing.assert_allclose(out * levels / 7.0, np.round(out * levels / 7.0), atol=1e-9)
+
+    def test_pact_gradients(self):
+        pact = PactActivationQuantizer(bits=8, alpha_init=2.0)
+        x = np.array([-0.5, 1.0, 3.0])
+        pact(x)
+        grad_in = pact.backward(np.ones(3))
+        np.testing.assert_array_equal(grad_in, [0.0, 1.0, 0.0])
+        assert pact.alpha.grad[0] == pytest.approx(1.0)  # only the saturated element
+
+    def test_pact_alpha_validation(self):
+        with pytest.raises(ValueError):
+            PactActivationQuantizer(bits=8, alpha_init=0.0)
+
+    def test_input_quantizer_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100,)) * 3
+        quant = InputQuantizer(8).calibrate(data)
+        out = quant(data)
+        assert np.abs(out - data).max() <= quant.scale / 2 + 1e-9
+        ints = quant.quantize_to_int(data)
+        assert ints.min() >= -128 and ints.max() <= 127
+
+    def test_input_quantizer_requires_calibration(self):
+        with pytest.raises(RuntimeError):
+            InputQuantizer(8)(np.zeros(3))
+
+
+class TestRequantizationPrimitives:
+    @given(st.floats(min_value=1e-6, max_value=0.9), st.integers(min_value=4, max_value=15))
+    @settings(max_examples=60, deadline=None)
+    def test_quantize_multiplier_accuracy(self, real, bits):
+        m, shift = quantize_multiplier(real, bits=bits)
+        approx = m / (2**shift)
+        assert approx == pytest.approx(real, rel=2 ** -(bits - 2))
+
+    def test_quantize_multiplier_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quantize_multiplier(0.0)
+
+    @given(st.integers(min_value=-(2**20), max_value=2**20), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_round_shift_matches_float(self, value, shift):
+        result = int(round_shift(np.array([value]), shift)[0])
+        expected = int(np.floor(value / 2**shift + 0.5))
+        assert result == expected
+
+
+class TestSchemes:
+    def test_enumeration_first_layer_pinned(self):
+        schemes = enumerate_schemes(4)
+        assert len(schemes) == 8
+        assert all(s.bits[0] == 8 for s in schemes)
+        labels = {s.label for s in schemes}
+        assert "INT 8-4-4-4" in labels and "INT 8-8-8-8" in labels
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionScheme((8, 2, 8, 8))
+
+    def test_label(self):
+        assert PrecisionScheme((8, 4, 4, 8)).label == "INT 8-4-4-8"
+
+
+class TestQuantizeModel:
+    def test_structure(self, trained_small_model, prepared_data):
+        qmodel = quantize_model(
+            trained_small_model,
+            PrecisionScheme((8, 4, 4, 8)),
+            calibration_data=prepared_data["train"].inputs[:100],
+        )
+        quant_layers = qmodel.quant_layers()
+        assert len(quant_layers) == 4
+        assert [l.weight_bits for l in quant_layers] == [8, 4, 4, 8]
+        # Output activations of layer l use layer l+1's precision (MAUPITI
+        # couples weights and input activations of the consumer layer).
+        assert [l.activation_bits for l in quant_layers] == [4, 4, 8, None]
+        # BatchNorm folded away: no BN modules remain.
+        from repro.nn import BatchNorm2d
+
+        assert not any(isinstance(m, BatchNorm2d) for m in qmodel.network.modules())
+
+    def test_scheme_length_mismatch(self, trained_small_model):
+        with pytest.raises(ValueError):
+            quantize_model(trained_small_model, PrecisionScheme((8, 8)))
+
+    def test_int8_preserves_float_predictions(self, trained_small_model, prepared_data):
+        """Before any QAT, INT8 post-training quantization should already
+        agree with the float model on most frames."""
+        qmodel = quantize_model(
+            trained_small_model,
+            PrecisionScheme((8, 8, 8, 8)),
+            calibration_data=prepared_data["train"].inputs[:200],
+        )
+        x = prepared_data["test"].inputs[:300]
+        agreement = (predict(qmodel, x) == predict(trained_small_model, x)).mean()
+        assert agreement > 0.85
+
+    def test_memory_accounting(self, trained_small_model, prepared_data):
+        q8 = quantize_model(
+            trained_small_model, PrecisionScheme((8, 8, 8, 8)),
+            calibration_data=prepared_data["train"].inputs[:50],
+        )
+        q4 = quantize_model(
+            trained_small_model, PrecisionScheme((8, 4, 4, 4)),
+            calibration_data=prepared_data["train"].inputs[:50],
+        )
+        assert q4.weights_bytes() < q8.weights_bytes()
+        assert q4.macs() == q8.macs()  # MACs do not depend on precision
+
+    def test_macs_match_float_model(self, trained_small_model, prepared_data):
+        from repro.nas import count_macs
+
+        qmodel = quantize_model(
+            trained_small_model, PrecisionScheme((8, 8, 8, 8)),
+            calibration_data=prepared_data["train"].inputs[:50],
+        )
+        assert qmodel.macs() == count_macs(trained_small_model)
+
+
+class TestMixedPrecisionExploration:
+    def test_exploration_returns_all_schemes(self, trained_small_model, prepared_data):
+        schemes = [PrecisionScheme((8, 8, 8, 8)), PrecisionScheme((8, 4, 4, 4))]
+        points = explore_mixed_precision(
+            trained_small_model,
+            prepared_data["train"],
+            prepared_data["test"],
+            schemes=schemes,
+            config=QATConfig(epochs=1, batch_size=128),
+            seed=0,
+        )
+        assert len(points) == 2
+        assert points[0].memory_bytes <= points[1].memory_bytes
+        for p in points:
+            assert 0.0 <= p.bas <= 1.0
+            assert p.model is not None
+
+    def test_count_quantizable_layers(self, trained_small_model):
+        assert count_quantizable_layers(trained_small_model) == 4
+
+
+class TestIntegerLowering:
+    def test_integer_agrees_with_fake_quant(self, quantized_model, prepared_data):
+        inet = convert_to_integer(quantized_model)
+        x = prepared_data["test"].inputs[:300]
+        int_preds = inet.predict(x)
+        fq_preds = predict(quantized_model, x)
+        # The fixed-point requantization multiplier is coarser than the float
+        # scales used during QAT, so a small fraction of borderline frames may
+        # flip class; the bulk of predictions must agree.
+        assert (int_preds == fq_preds).mean() > 0.8
+
+    def test_weights_are_in_range(self, integer_network):
+        for layer in integer_network.layers():
+            bound = 2 ** (layer.weight_bits - 1) - 1
+            assert np.abs(layer.weight).max() <= bound
+
+    def test_requantized_activations_bounded(self, integer_network, prepared_data):
+        x = prepared_data["test"].inputs[:10]
+        act = integer_network.quantize_input(x)
+        for node in integer_network.graph:
+            from repro.quant import IntegerLayer, PoolSpec
+
+            if isinstance(node, PoolSpec):
+                act = integer_network._pool(act, node)
+            else:
+                act = integer_network._layer(act, node)
+                if node.requantize:
+                    assert act.min() >= 0
+                    assert act.max() <= node.out_levels
+
+    def test_macs_and_memory(self, integer_network, quantized_model):
+        assert integer_network.macs() == quantized_model.macs()
+        assert integer_network.weights_bytes() > 0
+
+    def test_final_layer_not_requantized(self, integer_network):
+        assert integer_network.layers()[-1].requantize is False
+
+    def test_uncalibrated_model_rejected(self, trained_small_model):
+        qmodel = quantize_model(trained_small_model, PrecisionScheme((8, 8, 8, 8)))
+        with pytest.raises(RuntimeError):
+            convert_to_integer(qmodel)
