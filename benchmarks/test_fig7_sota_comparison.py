@@ -11,6 +11,8 @@ import pytest
 
 from conftest import save_result
 
+import repro
+from repro.nn.metrics import balanced_accuracy
 from repro.flow import (
     MANUAL_GRID,
     pareto_front,
@@ -105,3 +107,20 @@ def test_fig7_sota_comparison(benchmark, flow_result, bench_dataset):
     assert best_ours >= best_ref - 0.10
     if mem_factor is not None:
         assert mem_factor > 1.0
+
+    # Cross-check the flow's top point through the engine façade: streaming
+    # the held-out session with the majority FIFO must reproduce the BAS the
+    # flow reported for that point.
+    top = max(flow_result.flow_points, key=lambda p: p.bas_majority)
+    session_2 = bench_dataset.session(2)
+    frames = flow_result.preprocessor(session_2.frames)
+    engine = repro.compile(top, target="numpy-float")
+    with engine.stream(window=5) as stream:
+        for frame in frames:
+            stream.push(frame)
+        voted = stream.summary().voted_predictions
+    # Per-frame and 256-chunk batched forwards can differ in the last float
+    # ulp (BLAS reassociation), so allow a near-tie argmax flip or two.
+    assert balanced_accuracy(session_2.labels, voted) == pytest.approx(
+        top.bas_majority, abs=0.02
+    )

@@ -17,39 +17,18 @@ import pytest
 
 from conftest import save_result
 
-from repro.deploy import compile_network, report_on_stm32, verify_against_golden
-from repro.hw import ibex_platform, maupiti_platform
-from repro.quant import convert_to_integer
+import repro
 
 
 def _deploy_one(label, flow_point, frames):
-    inet = convert_to_integer(flow_point.quantized.model)
+    """Deploy one flow point on the three targets through the engine façade;
+    the ISA-simulated targets are verified bit-exact before measuring."""
+    bundle = repro.engine.ModelBundle(flow_point)
     rows = []
-    stm32 = report_on_stm32(inet)
-    rows.append((label, stm32))
-    for platform in (ibex_platform(), maupiti_platform()):
-        compiled = compile_network(
-            inet,
-            use_sdotp=platform.spec.supports_sdotp,
-            code_overhead_bytes=platform.spec.code_overhead_bytes,
-        )
-        batch = verify_against_golden(platform, compiled, inet, frames)
-        cycles = int(batch.mean_cycles)
-        from repro.deploy import PlatformReport
-
-        rows.append(
-            (
-                label,
-                PlatformReport(
-                    platform=platform.spec.name,
-                    code_bytes=compiled.code_size_bytes,
-                    data_bytes=compiled.data_size_bytes,
-                    cycles=cycles,
-                    latency_ms=platform.spec.cycles_to_seconds(cycles) * 1e3,
-                    energy_uj=platform.spec.energy_per_inference_uj(cycles),
-                ),
-            )
-        )
+    for target in ("stm32", "ibex", "maupiti"):
+        engine = repro.compile(bundle, target=target)
+        measured = engine.verify(frames) if engine.can_verify else None
+        rows.append((label, engine.report(frames, measured=measured)))
     return rows
 
 
@@ -58,11 +37,7 @@ def test_table1_deployment(benchmark, flow_result, bench_test_frames):
     frames, _labels = bench_test_frames
     eval_frames = frames[:3]
 
-    selection = {
-        "Top": flow_result.select_top(),
-        "-5%": flow_result.select_minus5(),
-        "Mini": flow_result.select_mini(),
-    }
+    selection = flow_result.table1_selection()
 
     def run():
         all_rows = []

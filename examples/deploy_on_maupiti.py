@@ -3,29 +3,23 @@
 This example covers the hardware half of the paper:
 
 1. train and quantize a small CNN (INT 8-4-4-8 mixed precision),
-2. lower it to a pure-integer network,
-3. compile it twice — scalar kernels for the vanilla IBEX core and SDOTP
-   SIMD kernels for MAUPITI,
-4. run both programs on the instruction-level simulator, verifying they are
-   bit-exact against the numpy integer golden model,
-5. print the Table-I style comparison (code size, data size, cycles, energy)
-   including the analytical STM32 + X-CUBE-AI baseline.
+2. ``repro.compile`` it for every deployment target — the analytical STM32
+   baseline, scalar kernels on the vanilla IBEX core, SDOTP SIMD kernels on
+   MAUPITI — through the same engine interface,
+3. verify the ISA-simulated programs bit-exact against the numpy integer
+   golden model,
+4. print the Table-I style comparison (code size, data size, cycles, energy).
 
 Run with:  python examples/deploy_on_maupiti.py
 """
 
 import numpy as np
 
+import repro
 from repro.datasets import generate_linaige
-from repro.deploy import (
-    compile_network,
-    report_on_stm32,
-    verify_against_golden,
-)
 from repro.flow import Preprocessor, build_seed_cnn
-from repro.hw import ibex_platform, maupiti_platform
 from repro.nn import ArrayDataset, TrainConfig, train_model
-from repro.quant import PrecisionScheme, QATConfig, convert_to_integer, qat_finetune, quantize_model
+from repro.quant import PrecisionScheme, QATConfig, qat_finetune, quantize_model
 
 
 def main() -> None:
@@ -50,29 +44,22 @@ def main() -> None:
     bas = qat_finetune(qmodel, train_set, test_set, QATConfig(epochs=3), rng=rng)
     print(f"quantized model {scheme.label}: held-out BAS = {bas:.3f}")
 
-    # Lower to integers and deploy on both simulated cores.
-    integer_net = convert_to_integer(qmodel)
+    # Deploy on every target through the same engine interface.  Wrapping the
+    # QAT model in a shared bundle lowers it to the integer golden network
+    # once, reused by all three targets.
+    bundle = repro.engine.ModelBundle(qmodel, label=scheme.label)
     frames = pre(test_session.frames[:5])
     print(f"\n{'platform':<8} {'code [B]':>9} {'data [B]':>9} {'cycles':>10} {'energy [uJ]':>12}")
 
-    stm32 = report_on_stm32(integer_net)
-    print(
-        f"{stm32.platform:<8} {stm32.code_bytes:>9} {stm32.data_bytes:>9} "
-        f"{stm32.cycles:>10.0f} {stm32.energy_uj:>12.3f}"
-    )
-
-    for platform in (ibex_platform(), maupiti_platform()):
-        compiled = compile_network(
-            integer_net,
-            use_sdotp=platform.spec.supports_sdotp,
-            code_overhead_bytes=platform.spec.code_overhead_bytes,
-        )
-        batch = verify_against_golden(platform, compiled, integer_net, frames)
-        cycles = int(batch.mean_cycles)
+    for target in ("stm32", "ibex", "maupiti"):
+        engine = repro.compile(bundle, target=target)
+        # The ISA-simulated targets check bit-exactness; the verification run
+        # doubles as the cycle measurement for the report.
+        measured = engine.verify(frames) if engine.can_verify else None
+        entry = engine.report(frames, measured=measured)
         print(
-            f"{platform.spec.name:<8} {compiled.code_size_bytes:>9} "
-            f"{compiled.data_size_bytes:>9} {cycles:>10} "
-            f"{platform.inference_energy_uj(cycles):>12.3f}"
+            f"{entry.platform:<8} {entry.code_bytes:>9} {entry.data_bytes:>9} "
+            f"{entry.cycles:>10.0f} {entry.energy_uj:>12.3f}"
         )
     print("\nISA-simulator outputs verified bit-exact against the integer golden model.")
 

@@ -5,19 +5,20 @@ This example shows the minimal path through the library:
 1. generate the synthetic 8x8 infrared dataset,
 2. pre-process frames (ambient removal + standardization),
 3. train a compact CNN from the paper's model family,
-4. evaluate balanced accuracy on a held-out session,
-5. apply the majority-voting post-processing.
+4. compile it with the engine façade and evaluate balanced accuracy on a
+   held-out session,
+5. apply the majority-voting post-processing through a streaming session.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
+import repro
 from repro.datasets import generate_linaige
 from repro.flow import Preprocessor, build_seed_cnn
-from repro.nn import ArrayDataset, TrainConfig, evaluate_bas, predict, train_model
+from repro.nn import ArrayDataset, TrainConfig, evaluate_bas, train_model
 from repro.nn.metrics import balanced_accuracy
-from repro.postproc import evaluate_majority_voting
 
 
 def main() -> None:
@@ -51,18 +52,25 @@ def main() -> None:
     )
     print(f"final training loss: {history.train_loss[-1]:.4f}")
 
-    # 4. Single-frame balanced accuracy on the held-out session.
-    bas = evaluate_bas(model, test_set)
-    print(f"held-out session BAS (single frame): {bas:.3f}")
+    # 4. Compile for the numpy target and measure single-frame accuracy.
+    # The same call compiles for "int-golden" or "maupiti" once quantized.
+    engine = repro.compile(model, target="numpy-float")
+    predictions = engine.predict_batch(test_set.inputs).predictions
+    bas_raw = balanced_accuracy(test_session.labels, predictions)
+    print(f"held-out session BAS (single frame): {bas_raw:.3f}")
+    assert bas_raw == evaluate_bas(model, test_set)
 
-    # 5. Majority voting over a 5-frame sliding window.
-    predictions = predict(model, test_set.inputs)
-    result = evaluate_majority_voting(predictions, test_session.labels, window=5)
+    # 5. Majority voting over a 5-frame sliding window, streaming the session
+    # frame by frame as the deployed sensor would.
+    with engine.stream(window=5) as session:
+        for frame in test_set.inputs:
+            session.push(frame)
+        voted = session.summary().voted_predictions
+    bas_voted = balanced_accuracy(test_session.labels, voted)
     print(
-        f"held-out session BAS (majority voting, window=5): {result.bas_filtered:.3f} "
-        f"(+{result.bas_gain * 100:.1f} points)"
+        f"held-out session BAS (majority voting, window=5): {bas_voted:.3f} "
+        f"(+{(bas_voted - bas_raw) * 100:.1f} points)"
     )
-    assert balanced_accuracy(test_session.labels, predictions) == result.bas_raw
 
 
 if __name__ == "__main__":

@@ -3,21 +3,22 @@
 Simulates a deployed smart sensor watching a room: frames arrive one by one
 at 10 FPS from the (synthetic) infrared sensor, the on-device classifier
 produces a per-frame people count, and the majority-voting FIFO smooths the
-stream.  The example reports per-class recall, the occupancy timeline, and
-an estimate of the node's energy budget over the monitored period using the
-MAUPITI power figures.
+stream.  The whole loop is one engine ``StreamSession``: per-frame inference
+fused with the voting FIFO behind ``repro.compile``.  The example reports
+per-class recall, the occupancy timeline, and an estimate of the node's
+energy budget over the monitored period using the MAUPITI power figures.
 
 Run with:  python examples/streaming_occupancy_monitor.py
 """
 
 import numpy as np
 
+import repro
 from repro.datasets import generate_linaige
 from repro.flow import Preprocessor, build_seed_cnn
 from repro.hw import MAUPITI_SPEC, sensor_energy_per_frame_j
-from repro.nn import ArrayDataset, TrainConfig, predict, train_model
+from repro.nn import ArrayDataset, TrainConfig, train_model
 from repro.nn.metrics import balanced_accuracy, confusion_matrix, per_class_recall
-from repro.postproc import MajorityVoter
 
 
 def main() -> None:
@@ -41,11 +42,16 @@ def main() -> None:
         rng=rng,
     )
 
-    # Stream the monitored session frame by frame through the FIFO filter.
-    voter = MajorityVoter(window=5)
+    # Stream the monitored session frame by frame: the engine session fuses
+    # per-frame inference with the 5-deep majority-voting FIFO.
+    engine = repro.compile(model, target="numpy-float", majority_window=5)
     frames = pre(monitor_session.frames)
-    raw_predictions = predict(model, frames)
-    smoothed = np.array([voter.update(int(p)) for p in raw_predictions])
+    with engine.stream() as session:
+        for frame in frames:
+            session.push(frame)
+        summary = session.summary()
+    raw_predictions = summary.raw_predictions
+    smoothed = summary.voted_predictions
     labels = monitor_session.labels
 
     print("=== Occupancy monitoring on session 5 ===")

@@ -1,8 +1,19 @@
 """repro — reproduction of "HW-SW Optimization of DNNs for Privacy-Preserving
 People Counting on Low-Resolution Infrared Arrays" (DATE 2024).
 
+The quickest way in is the engine façade: define or train a model once, then
+``repro.compile(model, target=...)`` it for any execution target —
+
+>>> engine = repro.compile(model, target="maupiti")
+>>> engine.predict_batch(frames).predictions
+
 Sub-packages
 ------------
+``repro.engine``
+    The unified execution API: ``repro.compile(model, target=...)`` returns
+    an ``Engine`` with ``predict`` / ``predict_batch`` / ``stream`` /
+    ``report`` over a registry of targets (``numpy-float``, ``int-golden``,
+    ``ibex``, ``maupiti``, ``stm32`` — extensible via ``register_target``).
 ``repro.nn``
     Numpy-based DNN training framework (layers, losses, optimizers, metrics).
 ``repro.datasets``
@@ -23,11 +34,18 @@ Sub-packages
     End-to-end flow orchestration, Pareto utilities and the manual baseline.
 """
 
-from . import datasets, deploy, flow, hw, nas, nn, postproc, quant
+from . import datasets, deploy, engine, flow, hw, nas, nn, postproc, quant
+from .engine import Engine, StreamSession, available_targets, compile, register_target
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "compile",
+    "Engine",
+    "StreamSession",
+    "available_targets",
+    "register_target",
+    "engine",
     "nn",
     "datasets",
     "nas",

@@ -16,11 +16,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..hw.energy import IBEX_SPEC, MAUPITI_SPEC, STM32_SPEC
-from ..hw.platform import SmartSensorPlatform, ibex_platform, maupiti_platform
+from ..hw.platform import SmartSensorPlatform
 from ..quant.integer import IntegerNetwork
-from .program import CompiledModel, compile_network
-from .runtime import run_frames
+from .program import CompiledModel
 from .stm32 import Stm32DeploymentModel
 
 
@@ -72,39 +70,31 @@ def report_on_simulated_platform(
     calibration_frames: np.ndarray,
     compiled: Optional[CompiledModel] = None,
 ) -> PlatformReport:
-    """Measure one platform by actually running frames on the ISA simulator."""
-    if compiled is None:
-        compiled = compile_network(
-            network,
-            use_sdotp=platform.spec.supports_sdotp,
-            code_overhead_bytes=platform.spec.code_overhead_bytes,
-        )
-    batch = run_frames(platform, compiled, calibration_frames)
-    cycles = batch.mean_cycles
-    return PlatformReport(
-        platform=platform.spec.name,
-        code_bytes=compiled.code_size_bytes,
-        data_bytes=compiled.data_size_bytes,
-        cycles=cycles,
-        latency_ms=platform.spec.cycles_to_seconds(int(cycles)) * 1e3,
-        energy_uj=platform.spec.energy_per_inference_uj(int(cycles)),
-    )
+    """Measure one platform by actually running frames on the ISA simulator.
+
+    .. deprecated:: 1.1
+        Thin shim over the engine façade; prefer
+        ``repro.compile(network, target="maupiti").report(frames)``.
+    """
+    from ..engine import compile as _compile
+
+    target = "maupiti" if platform.spec.supports_sdotp else "ibex"
+    engine = _compile(network, target=target, platform=platform, compiled=compiled)
+    return engine.report(calibration_frames)
 
 
 def report_on_stm32(
     network: IntegerNetwork, model: Optional[Stm32DeploymentModel] = None
 ) -> PlatformReport:
-    """Analytical STM32 + X-CUBE-AI estimate."""
-    model = model or Stm32DeploymentModel()
-    cycles = model.inference_cycles(network)
-    return PlatformReport(
-        platform=STM32_SPEC.name,
-        code_bytes=model.code_size_bytes(network),
-        data_bytes=model.data_size_bytes(network),
-        cycles=cycles,
-        latency_ms=model.latency_s(network) * 1e3,
-        energy_uj=model.energy_uj(network),
-    )
+    """Analytical STM32 + X-CUBE-AI estimate.
+
+    .. deprecated:: 1.1
+        Thin shim over the engine façade; prefer
+        ``repro.compile(network, target="stm32").report()``.
+    """
+    from ..engine import compile as _compile
+
+    return _compile(network, target="stm32", deployment_model=model).report()
 
 
 def full_deployment_report(
@@ -113,12 +103,10 @@ def full_deployment_report(
     model_label: str = "model",
 ) -> DeploymentReport:
     """Build the complete Table-I row set (STM32 / IBEX / MAUPITI) for one model."""
+    from ..engine import compile as _compile
+
     report = DeploymentReport(model_label=model_label)
-    report.add(report_on_stm32(network))
-    report.add(
-        report_on_simulated_platform(network, ibex_platform(), calibration_frames)
-    )
-    report.add(
-        report_on_simulated_platform(network, maupiti_platform(), calibration_frames)
-    )
+    report.add(_compile(network, target="stm32").report())
+    report.add(_compile(network, target="ibex").report(calibration_frames))
+    report.add(_compile(network, target="maupiti").report(calibration_frames))
     return report

@@ -8,6 +8,11 @@ reads back the predicted class.
 
 It also provides :func:`verify_against_golden`, which checks that the ISA
 simulation reproduces the numpy integer golden model bit-exactly.
+
+This module is the low-level layer under the :mod:`repro.engine` façade;
+application code should normally go through
+``repro.compile(model, target="maupiti")`` instead of calling
+:func:`run_frame` / :func:`run_frames` directly.
 """
 
 from __future__ import annotations
@@ -70,7 +75,13 @@ def quantize_frame(compiled: CompiledModel, frame: np.ndarray) -> np.ndarray:
 
 
 def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: np.ndarray) -> None:
-    """Write a quantized input frame into the (spatially padded) input buffer."""
+    """Write a quantized input frame into the (spatially padded) input buffer.
+
+    The buffer is laid out as ``[row][pixel][padded channel run]``; the whole
+    payload is built as one ``(H, W, pixel_stride)`` uint8 array — zero-point
+    fill for the pad ring, frame values scattered into the interior — and
+    stored with a single DMA-like write.
+    """
     buf = compiled.input_buffer
     frame_int = quantize_frame(compiled, frame)
     if frame_int.ndim == 3:  # (C, H, W)
@@ -79,21 +90,21 @@ def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: n
         raise ValueError(f"expected a (C, H, W) frame, got shape {frame_int.shape}")
     if c != buf.channels or h + 2 * buf.pad != buf.height or w + 2 * buf.pad != buf.width:
         raise ValueError("frame shape does not match the compiled input buffer")
+    if buf.bits != 8:
+        raise ValueError(f"the input buffer stores {buf.bits}-bit values; only 8-bit input is supported")
+    if buf.row_stride != buf.width * buf.pixel_stride:
+        raise ValueError(
+            "input buffers with row-alignment padding are not supported: "
+            f"row_stride {buf.row_stride} != width*pixel_stride {buf.width * buf.pixel_stride}"
+        )
 
-    payload = bytearray(buf.size_bytes)
     zp = compiled.input_zero_point & 0xFF
-    # Fill the pad ring (every pixel, channel 0..C-1) with the zero point.
-    for py in range(buf.height):
-        for px in range(buf.width):
-            base = py * buf.row_stride + px * buf.pixel_stride
-            inside = buf.pad <= py < buf.pad + h and buf.pad <= px < buf.pad + w
-            for ci in range(c):
-                if inside:
-                    value = int(frame_int[ci, py - buf.pad, px - buf.pad]) & 0xFF
-                else:
-                    value = zp
-                payload[base + ci] = value
-    platform.memory.store_bytes(buf.address, bytes(payload))
+    payload = np.zeros((buf.height, buf.width, buf.pixel_stride), dtype=np.uint8)
+    payload[:, :, :c] = zp  # pad ring; the run's alignment padding stays 0
+    payload[buf.pad : buf.pad + h, buf.pad : buf.pad + w, :c] = (
+        (frame_int & 0xFF).astype(np.uint8).transpose(1, 2, 0)
+    )
+    platform.memory.store_bytes(buf.address, payload.tobytes())
 
 
 def run_frame(

@@ -1,0 +1,63 @@
+"""`repro.engine` — one flow, many execution targets (the façade layer).
+
+The paper's central claim is that the *same* quantized CNN runs as a numpy
+golden model, on the MAUPITI RV32IM+SDOTP simulator, and against the STM32
+baseline.  This package makes that claim an API::
+
+    import repro
+
+    engine = repro.compile(model, target="maupiti")
+    engine.predict(frame)           # one frame -> Prediction (+cycles/energy)
+    engine.predict_batch(frames)    # uniform batched inference
+    with engine.stream() as s:      # per-frame inference + majority FIFO
+        s.push(frame)
+    engine.report(frames)           # Table-I PlatformReport
+
+Targets live in a registry (:func:`register_target`) so new backends plug in
+without touching the engine, examples or benchmarks.
+"""
+
+from .api import ModelBundle, compile
+from .backends import (
+    EngineBackend,
+    IbexBackend,
+    IntGoldenBackend,
+    MaupitiBackend,
+    NumpyFloatBackend,
+    Stm32Backend,
+)
+from .engine import Engine, StreamSession
+from .registry import (
+    EngineError,
+    TargetSpec,
+    available_targets,
+    get_target,
+    register_target,
+    target_table,
+    unregister_target,
+)
+from .results import BatchPrediction, Prediction, StreamSummary, StreamUpdate
+
+__all__ = [
+    "compile",
+    "Engine",
+    "StreamSession",
+    "ModelBundle",
+    "EngineBackend",
+    "NumpyFloatBackend",
+    "IntGoldenBackend",
+    "IbexBackend",
+    "MaupitiBackend",
+    "Stm32Backend",
+    "EngineError",
+    "TargetSpec",
+    "register_target",
+    "unregister_target",
+    "get_target",
+    "available_targets",
+    "target_table",
+    "Prediction",
+    "BatchPrediction",
+    "StreamUpdate",
+    "StreamSummary",
+]

@@ -1,0 +1,131 @@
+"""`repro.compile` — the single entry point of the engine façade.
+
+``compile(model, target=...)`` accepts every model artifact the flow
+produces and lowers it to whatever representation the chosen target needs:
+
+* a float :class:`~repro.nn.module.Module` (``Sequential`` seed / NAS export),
+* a :class:`~repro.quant.quantize.QuantModel` (QAT network),
+* an :class:`~repro.quant.integer.IntegerNetwork` (lowered golden model),
+* a :class:`~repro.quant.mixed.QuantizedPoint` or a flow ``FlowPoint``
+  (recognized structurally, so :mod:`repro.flow` never becomes an import
+  dependency of the engine).
+
+The integer lowering (``convert_to_integer``) is performed lazily and cached
+on the bundle, so compiling the same artifact for several integer targets
+shares one golden model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..nn.module import Module
+from ..quant.integer import IntegerNetwork, convert_to_integer
+from ..quant.quantize import QuantModel
+from .engine import Engine
+from .registry import EngineError, get_target
+
+
+class ModelBundle:
+    """The model artifact behind an engine, in every available form."""
+
+    def __init__(self, source: Any, label: Optional[str] = None):
+        self.source = source
+        self.float_model: Optional[Module] = None
+        self.quant_model: Optional[QuantModel] = None
+        self._integer_network: Optional[IntegerNetwork] = None
+        self.label = label or ""
+
+        artifact = source
+        # Flow points carry their quantized model; quantized points carry the
+        # QAT model.  Both are detected structurally to avoid import cycles.
+        if hasattr(artifact, "quantized") and hasattr(artifact, "bas_majority"):
+            self.label = self.label or getattr(artifact, "label", "")
+            if artifact.quantized is None or artifact.quantized.model is None:
+                raise EngineError(
+                    "this FlowPoint does not carry its quantized model; "
+                    "re-run the flow keeping models attached"
+                )
+            artifact = artifact.quantized.model
+        elif hasattr(artifact, "scheme") and hasattr(artifact, "model") and not isinstance(artifact, Module):
+            self.label = self.label or getattr(artifact, "source_label", "")
+            if artifact.model is None:
+                raise EngineError("this QuantizedPoint does not carry its model")
+            artifact = artifact.model
+
+        if isinstance(artifact, IntegerNetwork):
+            self._integer_network = artifact
+        elif isinstance(artifact, QuantModel):
+            self.quant_model = artifact
+        elif isinstance(artifact, Module):
+            self.float_model = artifact
+        else:
+            raise EngineError(
+                f"cannot compile object of type {type(artifact).__name__}; "
+                "expected a Module, QuantModel, IntegerNetwork, QuantizedPoint "
+                "or FlowPoint"
+            )
+
+    # ------------------------------------------------------------------ #
+    def require_callable(self) -> Module:
+        """A float-domain forward (float model or fake-quant QAT model)."""
+        model = self.quant_model or self.float_model
+        if model is None:
+            raise EngineError(
+                "the 'numpy-float' target needs a float or QAT model; an "
+                "IntegerNetwork only supports the integer targets "
+                "('int-golden', 'ibex', 'maupiti', 'stm32')"
+            )
+        return model
+
+    def require_integer(self) -> IntegerNetwork:
+        """The integer golden model, lowering the QAT model on first use."""
+        if self._integer_network is None:
+            if self.quant_model is None:
+                raise EngineError(
+                    "integer targets need a QuantModel or IntegerNetwork; a "
+                    "float model must be quantized first (see "
+                    "repro.quant.quantize_model)"
+                )
+            self._integer_network = convert_to_integer(self.quant_model)
+        return self._integer_network
+
+
+def compile(
+    model: Any,
+    target: str = "maupiti",
+    *,
+    majority_window: int = 5,
+    num_classes: int = 4,
+    label: Optional[str] = None,
+    **opts: Any,
+) -> Engine:
+    """Compile a model artifact for an execution target.
+
+    Parameters
+    ----------
+    model:
+        Anything the flow produces: a float ``Module``, a ``QuantModel``, an
+        ``IntegerNetwork``, a ``QuantizedPoint`` or a ``FlowPoint``.
+    target:
+        Registered target name — ``"numpy-float"``, ``"int-golden"``,
+        ``"ibex"``, ``"maupiti"`` or ``"stm32"`` (see
+        :func:`repro.engine.available_targets`).
+    majority_window:
+        Default FIFO length of :meth:`Engine.stream` sessions.
+    num_classes:
+        Number of people-count classes (4 for LINAIGE).
+    **opts:
+        Forwarded to the backend constructor (e.g. ``platform=`` or
+        ``compiled=`` for the simulated targets, ``deployment_model=`` for
+        STM32, ``batch_size=`` for numpy-float).
+
+    Returns
+    -------
+    An :class:`~repro.engine.Engine` exposing ``predict`` /
+    ``predict_batch`` / ``stream`` / ``report`` uniformly across targets.
+    """
+    spec = get_target(target)
+    bundle = model if isinstance(model, ModelBundle) else ModelBundle(model, label=label)
+    backend = spec.backend_cls(bundle, **opts)
+    return Engine(backend, majority_window=majority_window, num_classes=num_classes)

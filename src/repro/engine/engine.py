@@ -1,0 +1,174 @@
+"""The uniform executable returned by :func:`repro.compile`.
+
+An :class:`Engine` wraps one backend (one model compiled for one target) and
+exposes the same four operations everywhere:
+
+* :meth:`Engine.predict` — one frame in, one :class:`Prediction` out,
+* :meth:`Engine.predict_batch` — a batch of frames, vectorized where the
+  target allows it,
+* :meth:`Engine.stream` — a :class:`StreamSession` context manager fusing
+  per-frame inference with the paper's majority-voting FIFO and per-frame
+  cycle/energy accounting where the target supports it,
+* :meth:`Engine.report` — a Table-I :class:`~repro.deploy.report.PlatformReport`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..postproc.majority import MajorityVoter
+from .registry import EngineError
+from .results import BatchPrediction, Prediction, StreamSummary, StreamUpdate
+
+
+class Engine:
+    """A model compiled for one execution target."""
+
+    def __init__(self, backend, majority_window: int = 5, num_classes: int = 4):
+        self.backend = backend
+        self.majority_window = majority_window
+        self.num_classes = num_classes
+
+    # ------------------------------------------------------------------ #
+    @property
+    def target(self) -> str:
+        return self.backend.spec.name
+
+    @property
+    def supports_stats(self) -> bool:
+        """Whether predictions carry per-frame cycle / energy figures."""
+        return self.backend.spec.supports_stats
+
+    @property
+    def can_verify(self) -> bool:
+        """Whether :meth:`verify` is meaningful for this target."""
+        return hasattr(self.backend, "verify")
+
+    @property
+    def label(self) -> str:
+        return self.backend.bundle.label
+
+    # ------------------------------------------------------------------ #
+    def predict(self, frame: np.ndarray) -> Prediction:
+        """Run one ``(C, H, W)`` preprocessed frame."""
+        return self.backend.predict_frame(np.asarray(frame))
+
+    def predict_batch(self, frames: np.ndarray) -> BatchPrediction:
+        """Run a ``(N, C, H, W)`` batch of preprocessed frames."""
+        return self.backend.predict_batch(np.asarray(frames))
+
+    def stream(
+        self, window: Optional[int] = None, num_classes: Optional[int] = None
+    ) -> "StreamSession":
+        """Open a streaming session (majority-voting FIFO included)."""
+        return StreamSession(
+            self.backend,
+            window=window if window is not None else self.majority_window,
+            num_classes=num_classes if num_classes is not None else self.num_classes,
+        )
+
+    def report(self, frames: Optional[np.ndarray] = None, *, measured=None):
+        """Table-I metrics for this target (code/data size, cycles, energy).
+
+        The simulated targets measure cycles by actually running ``frames``
+        on the ISA simulator; the analytical STM32 target ignores them.
+        ``measured`` may carry an earlier run of the same frames (anything
+        with a ``mean_cycles`` attribute, e.g. the batch :meth:`verify`
+        returned) so the simulator is not re-run just for the report.
+        """
+        return self.backend.report(frames, measured=measured)
+
+    def verify(self, frames: np.ndarray):
+        """Assert bit-exact agreement with the integer golden model (only the
+        ISA-simulated targets can do this)."""
+        if not self.can_verify:
+            raise EngineError(
+                f"target {self.target!r} does not support golden-model "
+                "verification"
+            )
+        return self.backend.verify(np.asarray(frames))
+
+    def describe(self) -> str:
+        name = self.label or type(self.backend.bundle.source).__name__
+        return f"Engine(target={self.target}, model={name})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class StreamSession:
+    """Context manager fusing per-frame inference with the majority FIFO.
+
+    The session mirrors the deployed firmware loop: each frame is classified
+    as it arrives, the raw prediction enters the sliding-window FIFO, and the
+    mode of the window is the emitted people count.  Per-frame cycle and
+    energy statistics are accumulated when the target reports them.
+    """
+
+    def __init__(self, backend, window: int = 5, num_classes: int = 4):
+        self.backend = backend
+        self.window = window
+        self.voter = MajorityVoter(window=window, num_classes=num_classes)
+        self._raw: List[int] = []
+        self._voted: List[int] = []
+        self._cycles: List[int] = []
+        self._energy_uj = 0.0
+        self._has_stats = True
+        self._open = False
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "StreamSession":
+        prepare = getattr(self.backend, "prepare", None)
+        if prepare is not None:
+            prepare()
+        # Re-entering starts a fresh run: clear the FIFO and every
+        # accumulator together so summary() never mixes two runs.
+        self.voter.reset()
+        self._raw = []
+        self._voted = []
+        self._cycles = []
+        self._energy_uj = 0.0
+        self._has_stats = True
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._open = False
+
+    # ------------------------------------------------------------------ #
+    def push(self, frame: np.ndarray) -> StreamUpdate:
+        """Feed one frame; returns the raw and majority-voted predictions."""
+        if not self._open:
+            raise EngineError("stream sessions must be entered with 'with' before push()")
+        result = self.backend.predict_frame(np.asarray(frame))
+        voted = self.voter.update(result.prediction)
+        self._raw.append(result.prediction)
+        self._voted.append(voted)
+        if result.cycles is None:
+            self._has_stats = False
+        else:
+            self._cycles.append(result.cycles)
+            self._energy_uj += result.energy_uj or 0.0
+        return StreamUpdate(
+            index=len(self._raw) - 1,
+            raw=result.prediction,
+            voted=voted,
+            cycles=result.cycles,
+            energy_uj=result.energy_uj,
+        )
+
+    def summary(self) -> StreamSummary:
+        """Everything seen so far (valid both inside and after the ``with``)."""
+        stats = self._has_stats and bool(self._cycles)
+        return StreamSummary(
+            window=self.window,
+            raw_predictions=np.asarray(self._raw, dtype=np.int64),
+            voted_predictions=np.asarray(self._voted, dtype=np.int64),
+            cycles_per_frame=np.asarray(self._cycles, dtype=np.int64) if stats else None,
+            total_energy_uj=self._energy_uj if stats else None,
+        )
+
+    def __len__(self) -> int:
+        return len(self._raw)

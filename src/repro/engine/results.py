@@ -1,0 +1,81 @@
+"""Result containers shared by every engine target.
+
+All targets return the same structures; fields a target cannot measure
+(cycles and energy on the pure-numpy paths) are ``None`` rather than absent,
+so downstream code can be written once against a uniform shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class Prediction:
+    """Outcome of running one frame through an :class:`~repro.engine.Engine`."""
+
+    prediction: int
+    logits: Optional[np.ndarray] = None
+    cycles: Optional[int] = None
+    energy_uj: Optional[float] = None
+    latency_s: Optional[float] = None
+
+
+@dataclass
+class BatchPrediction:
+    """Outcome of running a batch of frames through an engine."""
+
+    predictions: np.ndarray
+    logits: Optional[np.ndarray] = None
+    cycles_per_frame: Optional[np.ndarray] = None
+    energy_uj_per_frame: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.predictions.shape[0])
+
+    @property
+    def mean_cycles(self) -> Optional[float]:
+        if self.cycles_per_frame is None or self.cycles_per_frame.size == 0:
+            return None
+        return float(self.cycles_per_frame.mean())
+
+    @property
+    def total_energy_uj(self) -> Optional[float]:
+        if self.energy_uj_per_frame is None:
+            return None
+        return float(self.energy_uj_per_frame.sum())
+
+
+@dataclass
+class StreamUpdate:
+    """One step of a :class:`~repro.engine.StreamSession`."""
+
+    index: int
+    raw: int
+    voted: int
+    cycles: Optional[int] = None
+    energy_uj: Optional[float] = None
+
+
+@dataclass
+class StreamSummary:
+    """Aggregate view over everything pushed through a stream session."""
+
+    window: int
+    raw_predictions: np.ndarray
+    voted_predictions: np.ndarray
+    cycles_per_frame: Optional[np.ndarray] = None
+    total_energy_uj: Optional[float] = None
+
+    @property
+    def frames(self) -> int:
+        return int(self.raw_predictions.shape[0])
+
+    @property
+    def mean_cycles(self) -> Optional[float]:
+        if self.cycles_per_frame is None or self.cycles_per_frame.size == 0:
+            return None
+        return float(self.cycles_per_frame.mean())

@@ -8,8 +8,9 @@ The :class:`OptimizationFlow` chains the four stages:
    the Pareto-optimal architectures.
 3. **Post-processing** — sliding-window majority voting applied to the test
    sessions' temporally ordered predictions.
-4. **Deployment** — lowering to the integer runtime and (optionally)
-   compiling for the IBEX / MAUPITI platforms.
+4. **Deployment** — lowering to the integer runtime and compiling, through
+   the :mod:`repro.engine` façade, for the deployment targets listed in
+   :attr:`FlowConfig.deploy_targets` (Table-I reports per selected model).
 
 Also provided are the input pre-processing convention used throughout the
 reproduction (per-frame ambient removal + global standardization fitted on
@@ -18,18 +19,19 @@ training data) and the Table-I model selection rules (Top / -5% / Mini).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.linaige import LinaigeDataset, NUM_CLASSES, Session
 from ..datasets.transforms import Standardizer, ambient_removal
+from ..deploy.report import DeploymentReport
+from ..engine import compile as compile_engine
 from ..nas.search import ArchitecturePoint, SearchConfig, run_search
 from ..nn.data import ArrayDataset
 from ..nn.losses import CrossEntropyLoss, balanced_class_weights
 from ..nn.module import Sequential
-from ..nn.trainer import predict
 from ..postproc.majority import majority_filter
 from ..quant.mixed import QATConfig, QuantizedPoint, explore_mixed_precision
 from ..quant.quantize import PrecisionScheme
@@ -75,6 +77,10 @@ class FlowConfig:
     max_quantized_architectures: int = 4
     use_class_weights: bool = True
     seed: int = 0
+    # Stage 4: engine targets to deploy the Table-I selection on.  Empty
+    # disables the deployment stage (the default, matching older behaviour).
+    deploy_targets: Sequence[str] = ()
+    deploy_frames: int = 3
 
 
 @dataclass
@@ -104,6 +110,7 @@ class FlowResult:
     quantized_points: List[QuantizedPoint]
     flow_points: List[FlowPoint]
     preprocessor: Preprocessor
+    deployment_reports: Dict[str, DeploymentReport] = field(default_factory=dict)
 
     def pareto_memory(self, use_majority: bool = True) -> List[ParetoPoint]:
         return pareto_front(
@@ -144,6 +151,44 @@ class FlowResult:
         """The smallest model overall."""
         return min(self.flow_points, key=lambda p: p.memory_bytes)
 
+    def table1_selection(self) -> Dict[str, FlowPoint]:
+        """The paper's Table-I model selection (Top / -5% / Mini)."""
+        return {
+            "Top": self.select_top(),
+            "-5%": self.select_minus5(),
+            "Mini": self.select_mini(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Stage 4: deployment through the engine façade
+    # ------------------------------------------------------------------ #
+    def deploy(
+        self,
+        point: FlowPoint,
+        frames: np.ndarray,
+        targets: Sequence[str] = ("stm32", "ibex", "maupiti"),
+        verify: bool = True,
+    ) -> DeploymentReport:
+        """Deploy one flow point on every requested engine target.
+
+        Compiles ``point`` with :func:`repro.compile` for each target, runs
+        the ``frames`` to measure cycles where the target supports it, and
+        (for the ISA-simulated targets) verifies bit-exactness against the
+        integer golden model first — the verification run doubles as the
+        cycle measurement, so each frame is simulated only once.
+        """
+        from ..engine import ModelBundle
+
+        bundle = ModelBundle(point)  # integer lowering shared across targets
+        report = DeploymentReport(model_label=point.label)
+        for target in targets:
+            eng = compile_engine(bundle, target=target)
+            measured = None
+            if verify and eng.can_verify:
+                measured = eng.verify(frames)
+            report.add(eng.report(frames, measured=measured))
+        return report
+
 
 class OptimizationFlow:
     """Runs the full NAS -> quantization -> post-processing flow."""
@@ -181,6 +226,12 @@ class OptimizationFlow:
         if not self.config.use_class_weights:
             return CrossEntropyLoss()
         return CrossEntropyLoss(balanced_class_weights(labels, NUM_CLASSES))
+
+    def _search_config(self) -> SearchConfig:
+        """The flow's lambda sweep / cost metric applied to a *copy* of the
+        nested search config, so the caller's object is never mutated."""
+        cfg = self.config
+        return replace(cfg.search, lambdas=tuple(cfg.lambdas), cost=cfg.nas_cost)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -221,9 +272,7 @@ class OptimizationFlow:
         )
 
         # Stage 1: architecture search (lambda sweep).
-        search_cfg = cfg.search
-        search_cfg.lambdas = cfg.lambdas
-        search_cfg.cost = cfg.nas_cost
+        search_cfg = self._search_config()
         float_points = run_search(
             seed_builder(seed_channels, seed_hidden),
             train_set,
@@ -252,14 +301,17 @@ class OptimizationFlow:
                 )
             )
 
-        # Stage 3: majority-voting post-processing on the test session.
+        # Stage 3: majority-voting post-processing on the test session.  The
+        # per-model inference goes through the engine façade (numpy-float
+        # target), the same interface stage 4 uses for the hardware targets.
         flow_points: List[FlowPoint] = []
         test_frames = pre(test_session.frames)
-        for qp in quantized_points:
-            raw_preds = predict(qp.model, test_frames)
-            voted = majority_filter(raw_preds, window=cfg.majority_window)
-            from ..nn.metrics import balanced_accuracy
+        from ..nn.metrics import balanced_accuracy
 
+        for qp in quantized_points:
+            eng = compile_engine(qp, target="numpy-float")
+            raw_preds = eng.predict_batch(test_frames).predictions
+            voted = majority_filter(raw_preds, window=cfg.majority_window)
             flow_points.append(
                 FlowPoint(
                     label=f"{qp.source_label} {qp.scheme.label}",
@@ -274,10 +326,25 @@ class OptimizationFlow:
                 )
             )
 
-        return FlowResult(
+        result = FlowResult(
             seed_point=seed_point,
             float_points=float_points,
             quantized_points=quantized_points,
             flow_points=flow_points,
             preprocessor=pre,
         )
+
+        # Stage 4: deployment of the Table-I selection on the configured
+        # engine targets.
+        if cfg.deploy_targets and result.flow_points:
+            deploy_frames = test_frames[: cfg.deploy_frames]
+            # Top / -5% / Mini often resolve to the same point on small
+            # runs; deploy each distinct model once and share the report.
+            deployed: Dict[int, DeploymentReport] = {}
+            for label, point in result.table1_selection().items():
+                if id(point) not in deployed:
+                    deployed[id(point)] = result.deploy(
+                        point, deploy_frames, targets=cfg.deploy_targets
+                    )
+                result.deployment_reports[label] = deployed[id(point)]
+        return result

@@ -175,6 +175,45 @@ class TestCompilation:
         assert simd_mnemonics & {"sdotp8", "sdotp4"}
 
 
+class TestWriteInput:
+    def test_payload_byte_identical_to_reference_loop(
+        self, compiled_pair, prepared_data
+    ):
+        """The vectorized pad-and-scatter must produce exactly the bytes the
+        original per-pixel Python loop produced."""
+        from repro.deploy.runtime import quantize_frame, write_input
+        from repro.hw import ibex_platform
+
+        scalar, _ = compiled_pair
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        platform = ibex_platform()
+        buf = scalar.input_buffer
+        for frame in frames:
+            write_input(platform, scalar, frame)
+            payload = platform.memory.load_bytes(buf.address, buf.size_bytes)
+
+            # Reference: the original scalar loop, kept verbatim in the test.
+            frame_int = quantize_frame(scalar, frame)
+            c, h, w = frame_int.shape
+            expected = bytearray(buf.size_bytes)
+            zp = scalar.input_zero_point & 0xFF
+            for py in range(buf.height):
+                for px in range(buf.width):
+                    base = py * buf.row_stride + px * buf.pixel_stride
+                    inside = (
+                        buf.pad <= py < buf.pad + h and buf.pad <= px < buf.pad + w
+                    )
+                    for ci in range(c):
+                        if inside:
+                            value = int(frame_int[ci, py - buf.pad, px - buf.pad]) & 0xFF
+                        else:
+                            value = zp
+                        expected[base + ci] = value
+            assert payload == bytes(expected)
+
+
 class TestExecution:
     def test_bit_exact_on_both_platforms(self, compiled_pair, integer_network, prepared_data):
         frames = prepared_data["preprocessor"](prepared_data["test_session"].frames[:3])

@@ -1,0 +1,284 @@
+"""The engine façade: registry, compile(), cross-target parity, streaming."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import (
+    EngineBackend,
+    EngineError,
+    ModelBundle,
+    available_targets,
+    get_target,
+    register_target,
+    target_table,
+    unregister_target,
+)
+from repro.nn.trainer import predict
+from repro.postproc import majority_filter
+
+
+class TestRegistry:
+    def test_builtin_targets_present(self):
+        assert {"numpy-float", "int-golden", "ibex", "maupiti", "stm32"} <= set(
+            available_targets()
+        )
+
+    def test_aliases_resolve(self):
+        assert get_target("golden").name == "int-golden"
+        assert get_target("NUMPY").name == "numpy-float"
+
+    def test_unknown_target_lists_alternatives(self):
+        with pytest.raises(EngineError, match="maupiti"):
+            get_target("riscv-gpu")
+
+    def test_target_table_mentions_every_target(self):
+        table = target_table()
+        for name in available_targets():
+            assert name in table
+
+    def test_custom_target_registration(self, trained_small_model):
+        @register_target("constant", description="always predicts class 0")
+        class ConstantBackend(EngineBackend):
+            def __init__(self, bundle):
+                super().__init__(bundle)
+
+            def predict_batch(self, frames):
+                from repro.engine import BatchPrediction
+
+                n = frames.shape[0]
+                return BatchPrediction(predictions=np.zeros(n, dtype=np.int64))
+
+        try:
+            engine = repro.compile(trained_small_model, target="constant")
+            out = engine.predict_batch(np.zeros((3, 1, 8, 8)))
+            assert out.predictions.tolist() == [0, 0, 0]
+        finally:
+            unregister_target("constant")
+        with pytest.raises(EngineError):
+            get_target("constant")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_target("maupiti")(type("Dup", (EngineBackend,), {}))
+
+
+class TestCompileCoercion:
+    def test_float_model_rejected_by_integer_targets(self, trained_small_model):
+        with pytest.raises(EngineError, match="quantized"):
+            repro.compile(trained_small_model, target="int-golden")
+
+    def test_integer_network_rejected_by_numpy_target(self, integer_network):
+        with pytest.raises(EngineError, match="numpy-float"):
+            repro.compile(integer_network, target="numpy-float")
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(EngineError, match="cannot compile"):
+            repro.compile({"not": "a model"}, target="numpy-float")
+
+    def test_quant_model_lowers_lazily_and_caches(self, quantized_model):
+        bundle = ModelBundle(quantized_model)
+        assert bundle._integer_network is None
+        first = bundle.require_integer()
+        assert bundle.require_integer() is first
+
+    def test_bundle_shared_across_targets(self, quantized_model, prepared_data):
+        frames = prepared_data["test"].inputs[:2]
+        bundle = ModelBundle(quantized_model)
+        golden = repro.compile(bundle, target="int-golden")
+        stm32 = repro.compile(bundle, target="stm32")
+        np.testing.assert_array_equal(
+            golden.predict_batch(frames).predictions,
+            stm32.predict_batch(frames).predictions,
+        )
+
+
+class TestCrossTargetParity:
+    """The ISSUE's acceptance criterion: one compiled model, same answers on
+    every target, bit-exact between the golden model and the simulator."""
+
+    def test_int_golden_matches_maupiti_bit_exact(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        golden = repro.compile(integer_network, target="int-golden")
+        maupiti = repro.compile(integer_network, target="maupiti")
+        bg = golden.predict_batch(frames)
+        bm = maupiti.predict_batch(frames)
+        np.testing.assert_array_equal(bg.predictions, bm.predictions)
+        np.testing.assert_array_equal(bg.logits, bm.logits)
+        # And through the runtime's own golden-check machinery.
+        maupiti.verify(frames)
+
+    def test_int_golden_matches_ibex_bit_exact(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:2]
+        )
+        golden = repro.compile(integer_network, target="int-golden")
+        ibex = repro.compile(integer_network, target="ibex")
+        np.testing.assert_array_equal(
+            golden.predict_batch(frames).logits, ibex.predict_batch(frames).logits
+        )
+        ibex.verify(frames)
+
+    def test_numpy_float_matches_trainer_predict(self, trained_small_model, prepared_data):
+        inputs = prepared_data["test"].inputs
+        engine = repro.compile(trained_small_model, target="numpy-float")
+        np.testing.assert_array_equal(
+            engine.predict_batch(inputs).predictions,
+            predict(trained_small_model, inputs),
+        )
+
+    def test_all_five_targets_one_interface(self, quantized_model, prepared_data):
+        frames = prepared_data["test"].inputs[:2]
+        bundle = ModelBundle(quantized_model)
+        for target in available_targets():
+            engine = repro.compile(bundle, target=target)
+            batch = engine.predict_batch(frames)
+            assert len(batch) == 2
+            assert batch.predictions.dtype == np.int64
+            single = engine.predict(frames[0])
+            assert single.prediction == int(batch.predictions[0])
+            if engine.supports_stats:
+                assert batch.mean_cycles and batch.mean_cycles > 0
+                assert batch.total_energy_uj and batch.total_energy_uj > 0
+            else:
+                assert batch.mean_cycles is None
+
+
+class TestStreaming:
+    def test_stream_matches_majority_filter(self, trained_small_model, prepared_data):
+        inputs = prepared_data["test"].inputs[:40]
+        engine = repro.compile(trained_small_model, target="numpy-float")
+        raw = engine.predict_batch(inputs).predictions
+        with engine.stream(window=5) as session:
+            updates = [session.push(frame) for frame in inputs]
+            summary = session.summary()
+        np.testing.assert_array_equal(summary.raw_predictions, raw)
+        np.testing.assert_array_equal(
+            summary.voted_predictions, majority_filter(raw, window=5)
+        )
+        assert [u.index for u in updates] == list(range(len(inputs)))
+        assert summary.mean_cycles is None  # numpy target has no stats
+
+    def test_stream_reports_cycles_on_simulated_target(
+        self, integer_network, prepared_data
+    ):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        engine = repro.compile(integer_network, target="maupiti")
+        with engine.stream(window=3) as session:
+            for frame in frames:
+                update = session.push(frame)
+                assert update.cycles > 0
+                assert update.energy_uj > 0
+            summary = session.summary()
+        assert summary.cycles_per_frame.shape == (3,)
+        assert summary.total_energy_uj > 0
+
+    def test_push_outside_context_rejected(self, trained_small_model):
+        engine = repro.compile(trained_small_model, target="numpy-float")
+        session = engine.stream()
+        with pytest.raises(EngineError):
+            session.push(np.zeros((1, 8, 8)))
+
+    def test_reentered_session_starts_fresh(self, trained_small_model, prepared_data):
+        inputs = prepared_data["test"].inputs[:6]
+        session = repro.compile(trained_small_model, target="numpy-float").stream(window=3)
+        with session:
+            for frame in inputs:
+                session.push(frame)
+            assert session.summary().frames == 6
+        with session:
+            session.push(inputs[0])
+            summary = session.summary()
+        assert summary.frames == 1  # no leftovers from the first run
+        # A fresh FIFO means the first voted output equals the raw prediction.
+        assert summary.voted_predictions[0] == summary.raw_predictions[0]
+
+
+class TestReports:
+    def test_simulated_report_matches_legacy_shim(self, integer_network, prepared_data):
+        from repro.deploy import report_on_simulated_platform
+        from repro.hw import maupiti_platform
+
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:2]
+        )
+        engine_report = repro.compile(integer_network, target="maupiti").report(frames)
+        legacy = report_on_simulated_platform(
+            integer_network, maupiti_platform(), frames
+        )
+        assert legacy == engine_report
+
+    def test_stm32_report_needs_no_frames(self, integer_network):
+        entry = repro.compile(integer_network, target="stm32").report()
+        assert entry.platform == "STM32"
+        assert entry.code_bytes > 20_000
+
+    def test_simulated_report_requires_frames(self, integer_network):
+        with pytest.raises(EngineError, match="calibration frame"):
+            repro.compile(integer_network, target="maupiti").report()
+
+    def test_report_reuses_measured_verify_run(self, integer_network, prepared_data):
+        """A verify() run doubles as the cycle measurement — report() must
+        not re-simulate when handed the measured batch."""
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:2]
+        )
+        engine = repro.compile(integer_network, target="maupiti")
+        measured = engine.verify(frames)
+        report = engine.report(measured=measured)  # no frames: no re-run
+        assert report.cycles == pytest.approx(measured.mean_cycles)
+
+    def test_numpy_target_has_no_report(self, trained_small_model):
+        with pytest.raises(EngineError, match="report"):
+            repro.compile(trained_small_model, target="numpy-float").report()
+
+    def test_verify_unsupported_on_analytical_target(self, integer_network):
+        engine = repro.compile(integer_network, target="stm32")
+        assert not engine.can_verify
+        with pytest.raises(EngineError, match="verification"):
+            engine.verify(np.zeros((1, 1, 8, 8)))
+
+
+class TestFlowStage4:
+    def test_flow_point_deploys_through_engine(self, quantized_model, prepared_data):
+        from repro.flow import FlowPoint
+        from repro.quant import QuantizedPoint, PrecisionScheme
+
+        qp = QuantizedPoint(
+            scheme=quantized_model.scheme,
+            bas=0.5,
+            memory_bytes=quantized_model.weights_bytes(),
+            macs=quantized_model.macs(),
+            params=0,
+            model=quantized_model,
+        )
+        fp = FlowPoint(
+            label="test INT 8-4-4-8",
+            bas=0.5,
+            bas_majority=0.5,
+            memory_bytes=qp.memory_bytes,
+            macs=qp.macs,
+            scheme=qp.scheme,
+            quantized=qp,
+        )
+        frames = prepared_data["test"].inputs[:2]
+        engine = repro.compile(fp, target="maupiti")
+        assert engine.label == "test INT 8-4-4-8"
+        engine.verify(frames)
+
+        from repro.flow.pipeline import FlowResult
+
+        result = FlowResult(
+            seed_point=(0.5, 1.0, 1),
+            float_points=[],
+            quantized_points=[qp],
+            flow_points=[fp],
+            preprocessor=prepared_data["preprocessor"],
+        )
+        report = result.deploy(fp, frames)
+        assert set(report.entries) == {"STM32", "IBEX", "MAUPITI"}
+        assert report.improvement("code_bytes") > 1.0

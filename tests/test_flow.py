@@ -144,21 +144,47 @@ class TestBaselineAndPipeline:
             assert 0.0 <= p.bas <= 1.0
             assert p.memory_bytes_int8 == p.params
 
+    def test_search_config_is_copied_not_mutated(self):
+        """Regression: `run` used to write the flow's lambdas/cost into the
+        caller's nested SearchConfig in place."""
+        shared = SearchConfig()
+        original_lambdas = shared.lambdas
+        original_cost = shared.cost
+        flow = OptimizationFlow(FlowConfig(lambdas=(3e-3,), nas_cost="macs", search=shared))
+        derived = flow._search_config()
+        assert derived is not shared
+        assert derived.lambdas == (3e-3,) and derived.cost == "macs"
+        # The caller's object is untouched and reusable across flows.
+        assert shared.lambdas == original_lambdas
+        assert shared.cost == original_cost
+
     def test_full_pipeline_smoke(self, tiny_dataset):
-        """End-to-end flow on a tiny budget: NAS -> QAT -> majority voting."""
+        """End-to-end flow on a tiny budget: NAS -> QAT -> majority voting,
+        plus the stage-4 engine deployment of the Table-I selection."""
+        search_config = SearchConfig(
+            warmup_epochs=0, search_epochs=1, finetune_epochs=1, batch_size=128
+        )
         config = FlowConfig(
             lambdas=(1e-4,),
-            search=SearchConfig(
-                warmup_epochs=0, search_epochs=1, finetune_epochs=1, batch_size=128
-            ),
+            search=search_config,
             qat=QATConfig(epochs=1, batch_size=128),
             max_quantized_architectures=1,
             seed=0,
+            deploy_targets=("stm32", "maupiti"),
+            deploy_frames=2,
         )
         flow = OptimizationFlow(config)
         result = flow.run(
             tiny_dataset, test_session_id=2, seed_channels=(8, 8), seed_hidden=8
         )
+        # Regression (in vivo): the caller's SearchConfig keeps its defaults.
+        assert search_config.lambdas == SearchConfig().lambdas
+        assert search_config.cost == SearchConfig().cost
+        # Stage 4 deployed Top / -5% / Mini on both requested targets.
+        assert set(result.deployment_reports) == {"Top", "-5%", "Mini"}
+        for report in result.deployment_reports.values():
+            assert set(report.entries) == {"STM32", "MAUPITI"}
+            assert report.entries["MAUPITI"].cycles > 0
         assert result.float_points, "NAS produced no architectures"
         assert result.quantized_points, "QAT produced no quantized points"
         assert result.flow_points, "flow produced no final points"
