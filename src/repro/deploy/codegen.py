@@ -34,6 +34,23 @@ class AssemblerError(Exception):
     """Raised on unresolved labels or malformed emission."""
 
 
+@dataclass(frozen=True)
+class KernelHint:
+    """Annotation marking an emitted loop as a known vectorizable kernel.
+
+    The code generator records one hint per structured loop it emits
+    (``kind`` in ``{"sdotp", "mac8", "mac4", "memset"}``; ``label`` is the
+    loop's branch-target label).  The fast simulator recognizes the loops
+    structurally, so the hints carry no execution semantics — they exist so
+    tests can prove that every loop codegen claims to emit is actually
+    picked up by a vectorized handler
+    (:meth:`repro.hw.sim.TraceProgram.vectorized_labels`).
+    """
+
+    label: str
+    kind: str
+
+
 class Assembler:
     """A tiny two-pass assembler over :class:`~repro.hw.isa.Instruction`.
 
@@ -45,7 +62,12 @@ class Assembler:
     def __init__(self) -> None:
         self.instructions: List[Instruction] = []
         self.labels: Dict[str, int] = {}
+        self.kernel_hints: List[KernelHint] = []
         self._pending_label: Optional[str] = None
+
+    def hint_kernel(self, label: str, kind: str) -> None:
+        """Record that the loop at ``label`` is a vectorizable kernel."""
+        self.kernel_hints.append(KernelHint(label=label, kind=kind))
 
     # ------------------------------------------------------------------ #
     def label(self, name: str) -> None:
@@ -226,6 +248,7 @@ def emit_memset(asm: Assembler, name: str, address: int, size_bytes: int) -> Non
         return
     asm.li("t1", address, comment=f"{name}: memset base")
     asm.li("t2", address + size_bytes)
+    asm.hint_kernel(f"{name}_memset", "memset")
     asm.label(f"{name}_memset")
     asm.emit("sw", rs1="t1", rs2="zero", imm=0)
     asm.emit("addi", rd="t1", rs1="t1", imm=4)
@@ -253,6 +276,7 @@ def _emit_inner_product(
         words = (run_values * bits + 31) // 32
         mnemonic = "sdotp8" if bits == 8 else "sdotp4"
         asm.li("t3", words)
+        asm.hint_kernel(f"{name}_simd", "sdotp")
         asm.label(f"{name}_simd")
         asm.emit("lw", rd="t4", rs1=act_ptr, imm=0)
         asm.emit("lw", rd="t5", rs1=weight_ptr, imm=0)
@@ -265,6 +289,7 @@ def _emit_inner_product(
 
     if bits == 8:
         asm.li("t3", run_values)
+        asm.hint_kernel(f"{name}_mac8", "mac8")
         asm.label(f"{name}_mac8")
         asm.emit("lb", rd="t4", rs1=act_ptr, imm=0)
         asm.emit("lb", rd="t5", rs1=weight_ptr, imm=0)
@@ -286,6 +311,7 @@ def _emit_inner_product(
     # weights are signed and need sign extension through shift pairs.
     pairs = (run_values + 1) // 2
     asm.li("t3", pairs)
+    asm.hint_kernel(f"{name}_mac4", "mac4")
     asm.label(f"{name}_mac4")
     asm.emit("lbu", rd="t4", rs1=act_ptr, imm=0)
     asm.emit("lbu", rd="t5", rs1=weight_ptr, imm=0)

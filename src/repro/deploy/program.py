@@ -31,6 +31,7 @@ from .codegen import (
     Assembler,
     ConvKernelConfig,
     FcKernelConfig,
+    KernelHint,
     PoolKernelConfig,
     emit_argmax,
     emit_conv_layer,
@@ -94,6 +95,9 @@ class CompiledModel:
     input_zero_point: int
     use_sdotp: bool
     layer_summaries: List[LayerSummary] = field(default_factory=list)
+    # One annotation per structured loop emitted by codegen; the fast
+    # simulator's parity tests assert each one hits a vectorized handler.
+    kernel_hints: List[KernelHint] = field(default_factory=list)
 
     def describe(self) -> str:
         flavour = "sdotp" if self.use_sdotp else "scalar"
@@ -424,4 +428,5 @@ def compile_network(
         input_zero_point=inet.input_zero_point,
         use_sdotp=use_sdotp,
         layer_summaries=summaries,
+        kernel_hints=list(asm.kernel_hints),
     )

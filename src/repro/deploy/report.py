@@ -11,6 +11,7 @@ platforms (STM32 + X-CUBE-AI, vanilla IBEX, MAUPITI):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -78,6 +79,12 @@ def report_on_simulated_platform(
     """
     from ..engine import compile as _compile
 
+    warnings.warn(
+        "report_on_simulated_platform() is deprecated; use "
+        'repro.compile(network, target="maupiti").report(frames) instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     target = "maupiti" if platform.spec.supports_sdotp else "ibex"
     engine = _compile(network, target=target, platform=platform, compiled=compiled)
     return engine.report(calibration_frames)
@@ -94,6 +101,12 @@ def report_on_stm32(
     """
     from ..engine import compile as _compile
 
+    warnings.warn(
+        "report_on_stm32() is deprecated; use "
+        'repro.compile(network, target="stm32").report() instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _compile(network, target="stm32", deployment_model=model).report()
 
 

@@ -6,13 +6,16 @@ the on-chip memories, writes each (quantized) input frame into the input
 activation buffer — as the sensor read-out DMA would — starts the core, and
 reads back the predicted class.
 
-It also provides :func:`verify_against_golden`, which checks that the ISA
-simulation reproduces the numpy integer golden model bit-exactly.
+It also provides :func:`simulate_batch` — whole-split simulation that
+amortizes model load, input quantization/packing and (in ``fast`` mode)
+trace compilation across frames — and :func:`verify_against_golden`, which
+checks in one batched call that the ISA simulation reproduces the numpy
+integer golden model bit-exactly.
 
 This module is the low-level layer under the :mod:`repro.engine` façade;
 application code should normally go through
 ``repro.compile(model, target="maupiti")`` instead of calling
-:func:`run_frame` / :func:`run_frames` directly.
+:func:`run_frame` / :func:`simulate_batch` directly.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ class BatchInferenceResult:
     predictions: np.ndarray
     cycles_per_frame: np.ndarray
     results: List[InferenceResult] = field(default_factory=list)
+    logits: Optional[np.ndarray] = None  # (N, num_classes) INT32-valued
 
     @property
     def mean_cycles(self) -> float:
@@ -74,20 +78,23 @@ def quantize_frame(compiled: CompiledModel, frame: np.ndarray) -> np.ndarray:
     return np.clip(q + compiled.input_zero_point, bits_min, bits_max).astype(np.int64)
 
 
-def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: np.ndarray) -> None:
-    """Write a quantized input frame into the (spatially padded) input buffer.
+def pack_input_frames(compiled: CompiledModel, frames: np.ndarray) -> np.ndarray:
+    """Quantize and pack a ``(N, C, H, W)`` batch into input-buffer payloads.
 
-    The buffer is laid out as ``[row][pixel][padded channel run]``; the whole
-    payload is built as one ``(H, W, pixel_stride)`` uint8 array — zero-point
-    fill for the pad ring, frame values scattered into the interior — and
-    stored with a single DMA-like write.
+    The input buffer is laid out as ``[row][pixel][padded channel run]``;
+    each payload is built as one ``(H, W, pixel_stride)`` uint8 array —
+    zero-point fill for the pad ring, frame values scattered into the
+    interior.  Packing the whole batch in one numpy pass is what
+    :func:`simulate_batch` amortizes across frames; the bytes produced are
+    identical to per-frame :func:`write_input` calls.
+
+    Returns a ``(N, buf.size_bytes)`` uint8 array.
     """
     buf = compiled.input_buffer
-    frame_int = quantize_frame(compiled, frame)
-    if frame_int.ndim == 3:  # (C, H, W)
-        c, h, w = frame_int.shape
-    else:
-        raise ValueError(f"expected a (C, H, W) frame, got shape {frame_int.shape}")
+    frames = np.asarray(frames)
+    if frames.ndim != 4:
+        raise ValueError(f"expected a (N, C, H, W) batch, got shape {frames.shape}")
+    n, c, h, w = frames.shape
     if c != buf.channels or h + 2 * buf.pad != buf.height or w + 2 * buf.pad != buf.width:
         raise ValueError("frame shape does not match the compiled input buffer")
     if buf.bits != 8:
@@ -98,13 +105,36 @@ def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: n
             f"row_stride {buf.row_stride} != width*pixel_stride {buf.width * buf.pixel_stride}"
         )
 
+    frames_int = quantize_frame(compiled, frames)
     zp = compiled.input_zero_point & 0xFF
-    payload = np.zeros((buf.height, buf.width, buf.pixel_stride), dtype=np.uint8)
-    payload[:, :, :c] = zp  # pad ring; the run's alignment padding stays 0
-    payload[buf.pad : buf.pad + h, buf.pad : buf.pad + w, :c] = (
-        (frame_int & 0xFF).astype(np.uint8).transpose(1, 2, 0)
+    payload = np.zeros((n, buf.height, buf.width, buf.pixel_stride), dtype=np.uint8)
+    payload[:, :, :, :c] = zp  # pad ring; the run's alignment padding stays 0
+    payload[:, buf.pad : buf.pad + h, buf.pad : buf.pad + w, :c] = (
+        (frames_int & 0xFF).astype(np.uint8).transpose(0, 2, 3, 1)
     )
-    platform.memory.store_bytes(buf.address, payload.tobytes())
+    return payload.reshape(n, buf.size_bytes)
+
+
+def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: np.ndarray) -> None:
+    """Write one quantized input frame into the (spatially padded) input
+    buffer with a single DMA-like write."""
+    frame = np.asarray(frame)
+    if frame.ndim != 3:  # (C, H, W)
+        raise ValueError(f"expected a (C, H, W) frame, got shape {frame.shape}")
+    payload = pack_input_frames(compiled, frame[None])[0]
+    platform.memory.store_bytes(compiled.input_buffer.address, payload.tobytes())
+
+
+def _read_outputs(
+    platform: SmartSensorPlatform, compiled: CompiledModel
+) -> tuple:
+    """Read back (prediction, logits) after a program run."""
+    prediction = int(platform.memory.load_word(compiled.result_address))
+    raw = platform.memory.load_bytes(
+        compiled.logits_address, 4 * compiled.num_classes
+    )
+    logits = np.frombuffer(raw, dtype="<i4").astype(np.int64)
+    return prediction, logits
 
 
 def run_frame(
@@ -113,15 +143,59 @@ def run_frame(
     """Run a single frame through the compiled model on the simulator."""
     write_input(platform, compiled, frame)
     stats = platform.run_program(compiled.program)
-    prediction = platform.memory.load_word(compiled.result_address)
-    logits = np.array(
-        [
-            platform.memory.load_word(compiled.logits_address + 4 * i)
-            for i in range(compiled.num_classes)
-        ],
-        dtype=np.int64,
+    prediction, logits = _read_outputs(platform, compiled)
+    return InferenceResult(prediction=prediction, logits=logits, stats=stats)
+
+
+def simulate_batch(
+    platform: SmartSensorPlatform,
+    compiled: CompiledModel,
+    frames: np.ndarray,
+    keep_results: bool = False,
+) -> BatchInferenceResult:
+    """Simulate a whole ``(N, C, H, W)`` batch of frames in one call.
+
+    Everything frame-independent is amortized across the batch: the model
+    image is loaded once, every frame is quantized and packed into its
+    input-buffer payload in one vectorized pass
+    (:func:`pack_input_frames`), and — on a ``sim_mode="fast"`` platform —
+    the program decode/trace compilation happens once and is reused for
+    every frame.  Results are identical to running the frames one by one.
+    """
+    frames = np.asarray(frames)
+    load_model(platform, compiled)
+    if frames.size == 0:  # empty splits are fine, whatever their shape
+        return BatchInferenceResult(
+            predictions=np.empty(0, dtype=np.int64),
+            cycles_per_frame=np.empty(0, dtype=np.int64),
+            logits=np.empty((0, compiled.num_classes), dtype=np.int64),
+        )
+    payloads = pack_input_frames(compiled, frames)
+    buf_address = compiled.input_buffer.address
+    store_bytes = platform.memory.store_bytes
+    predictions: List[int] = []
+    cycles: List[int] = []
+    logits_rows: List[np.ndarray] = []
+    results: List[InferenceResult] = []
+    for payload in payloads:
+        store_bytes(buf_address, payload.tobytes())
+        stats = platform.run_program(compiled.program)
+        prediction, logits = _read_outputs(platform, compiled)
+        predictions.append(prediction)
+        cycles.append(stats.cycles)
+        logits_rows.append(logits)
+        if keep_results:
+            results.append(
+                InferenceResult(prediction=prediction, logits=logits, stats=stats)
+            )
+    return BatchInferenceResult(
+        predictions=np.asarray(predictions, dtype=np.int64),
+        cycles_per_frame=np.asarray(cycles, dtype=np.int64),
+        results=results,
+        logits=np.stack(logits_rows)
+        if logits_rows
+        else np.empty((0, compiled.num_classes), dtype=np.int64),
     )
-    return InferenceResult(prediction=int(prediction), logits=logits, stats=stats)
 
 
 def run_frames(
@@ -130,22 +204,8 @@ def run_frames(
     frames: np.ndarray,
     keep_results: bool = False,
 ) -> BatchInferenceResult:
-    """Run a batch of frames; the model is loaded once, frames run sequentially."""
-    load_model(platform, compiled)
-    predictions = []
-    cycles = []
-    results: List[InferenceResult] = []
-    for frame in frames:
-        result = run_frame(platform, compiled, frame)
-        predictions.append(result.prediction)
-        cycles.append(result.cycles)
-        if keep_results:
-            results.append(result)
-    return BatchInferenceResult(
-        predictions=np.asarray(predictions, dtype=np.int64),
-        cycles_per_frame=np.asarray(cycles, dtype=np.int64),
-        results=results,
-    )
+    """Run a batch of frames; alias of :func:`simulate_batch`."""
+    return simulate_batch(platform, compiled, frames, keep_results=keep_results)
 
 
 def verify_against_golden(
@@ -156,27 +216,30 @@ def verify_against_golden(
     check_logits: bool = True,
 ) -> BatchInferenceResult:
     """Run frames on the ISA simulator and assert bit-exact agreement with the
-    numpy integer golden model (logits and predictions)."""
-    load_model(platform, compiled)
-    batch_predictions = []
-    batch_cycles = []
-    for index, frame in enumerate(frames):
-        result = run_frame(platform, compiled, frame)
-        golden_logits = golden.forward(frame[None])[0]
-        if check_logits and not np.array_equal(result.logits, golden_logits):
-            raise AssertionError(
-                f"frame {index}: simulator logits {result.logits.tolist()} differ "
-                f"from golden {golden_logits.tolist()}"
-            )
-        golden_pred = int(np.argmax(golden_logits))
-        if result.prediction != golden_pred:
-            raise AssertionError(
-                f"frame {index}: simulator predicted {result.prediction}, "
-                f"golden predicted {golden_pred}"
-            )
-        batch_predictions.append(result.prediction)
-        batch_cycles.append(result.cycles)
-    return BatchInferenceResult(
-        predictions=np.asarray(batch_predictions, dtype=np.int64),
-        cycles_per_frame=np.asarray(batch_cycles, dtype=np.int64),
-    )
+    numpy integer golden model (logits and predictions).
+
+    The whole split is simulated in one :func:`simulate_batch` call and the
+    golden model runs one vectorized forward pass over the batch, so the
+    verification costs one simulation per frame and a single numpy forward.
+    """
+    frames = np.asarray(frames)
+    batch = simulate_batch(platform, compiled, frames)
+    if frames.size == 0:
+        return batch
+    golden_logits = golden.forward(frames)
+    golden_preds = np.argmax(golden_logits, axis=1)
+    if check_logits and not np.array_equal(batch.logits, golden_logits):
+        index = int(
+            np.nonzero(~np.all(batch.logits == golden_logits, axis=1))[0][0]
+        )
+        raise AssertionError(
+            f"frame {index}: simulator logits {batch.logits[index].tolist()} "
+            f"differ from golden {golden_logits[index].tolist()}"
+        )
+    if not np.array_equal(batch.predictions, golden_preds):
+        index = int(np.nonzero(batch.predictions != golden_preds)[0][0])
+        raise AssertionError(
+            f"frame {index}: simulator predicted {int(batch.predictions[index])}, "
+            f"golden predicted {int(golden_preds[index])}"
+        )
+    return batch

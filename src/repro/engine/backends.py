@@ -22,7 +22,12 @@ import numpy as np
 
 from ..deploy.program import CompiledModel, compile_network
 from ..deploy.report import PlatformReport
-from ..deploy.runtime import load_model, run_frame, verify_against_golden
+from ..deploy.runtime import (
+    load_model,
+    run_frame,
+    simulate_batch,
+    verify_against_golden,
+)
 from ..deploy.stm32 import Stm32DeploymentModel
 from ..hw.platform import SmartSensorPlatform, ibex_platform, maupiti_platform
 from .registry import EngineError, register_target
@@ -125,7 +130,15 @@ class IntGoldenBackend(EngineBackend):
 
 # --------------------------------------------------------------------- #
 class _SimulatedBackend(EngineBackend):
-    """Shared implementation of the two ISA-simulated targets."""
+    """Shared implementation of the two ISA-simulated targets.
+
+    ``sim_mode`` selects the simulation engine: ``"fast"`` (default) runs
+    the trace-compiled vectorized simulator of :mod:`repro.hw.sim`,
+    ``"interp"`` the per-instruction reference interpreter.  Both are
+    bit-exact in predictions, logits, cycle counts and energy; batches go
+    through :func:`repro.deploy.runtime.simulate_batch`, which amortizes
+    model load, input packing and trace compilation across frames.
+    """
 
     _platform_factory = None  # set by subclasses
 
@@ -135,10 +148,21 @@ class _SimulatedBackend(EngineBackend):
         platform: Optional[SmartSensorPlatform] = None,
         compiled: Optional[CompiledModel] = None,
         num_classes: int = 4,
+        sim_mode: Optional[str] = None,
     ):
         super().__init__(bundle)
         self.network = bundle.require_integer()
-        self.platform = platform if platform is not None else type(self)._platform_factory()
+        if platform is not None:
+            if sim_mode is not None and platform.sim_mode != sim_mode:
+                raise EngineError(
+                    f"conflicting options: the supplied platform simulates in "
+                    f"{platform.sim_mode!r} mode but sim_mode={sim_mode!r} was "
+                    "requested; build the platform with the desired sim_mode "
+                    "or drop one of the two options"
+                )
+            self.platform = platform
+        else:
+            self.platform = type(self)._platform_factory(sim_mode=sim_mode or "fast")
         self.compiled = compiled or compile_network(
             self.network,
             use_sdotp=self.platform.spec.supports_sdotp,
@@ -148,6 +172,10 @@ class _SimulatedBackend(EngineBackend):
         self._loaded = False
 
     # ------------------------------------------------------------------ #
+    @property
+    def sim_mode(self) -> str:
+        return self.platform.sim_mode
+
     def prepare(self) -> None:
         load_model(self.platform, self.compiled)
         self._loaded = True
@@ -166,21 +194,18 @@ class _SimulatedBackend(EngineBackend):
         )
 
     def predict_batch(self, frames: np.ndarray) -> BatchPrediction:
-        self.prepare()
-        predictions, logits, cycles, energy = [], [], [], []
-        for frame in frames:
-            p = self.predict_frame(frame)
-            predictions.append(p.prediction)
-            logits.append(p.logits)
-            cycles.append(p.cycles)
-            energy.append(p.energy_uj)
+        batch = simulate_batch(self.platform, self.compiled, frames)
+        self._loaded = True
+        spec = self.platform.spec
+        energy = np.array(
+            [spec.energy_per_inference_uj(int(c)) for c in batch.cycles_per_frame],
+            dtype=np.float64,
+        )
         return BatchPrediction(
-            predictions=np.asarray(predictions, dtype=np.int64),
-            logits=np.asarray(logits, dtype=np.int64)
-            if logits
-            else np.empty((0, self.compiled.num_classes), dtype=np.int64),
-            cycles_per_frame=np.asarray(cycles, dtype=np.int64),
-            energy_uj_per_frame=np.asarray(energy, dtype=np.float64),
+            predictions=batch.predictions,
+            logits=batch.logits,
+            cycles_per_frame=batch.cycles_per_frame,
+            energy_uj_per_frame=energy,
         )
 
     def verify(self, frames: np.ndarray):
@@ -217,6 +242,7 @@ class _SimulatedBackend(EngineBackend):
     "ibex",
     description="Vanilla IBEX core, scalar kernels on the ISA simulator",
     supports_stats=True,
+    supports_sim_mode=True,
 )
 class IbexBackend(_SimulatedBackend):
     _platform_factory = staticmethod(ibex_platform)
@@ -226,6 +252,7 @@ class IbexBackend(_SimulatedBackend):
     "maupiti",
     description="MAUPITI core, SDOTP SIMD kernels on the ISA simulator",
     supports_stats=True,
+    supports_sim_mode=True,
 )
 class MaupitiBackend(_SimulatedBackend):
     _platform_factory = staticmethod(maupiti_platform)

@@ -25,13 +25,20 @@ class EngineError(RuntimeError):
 
 @dataclass(frozen=True)
 class TargetSpec:
-    """Static description of one registered execution target."""
+    """Static description of one registered execution target.
+
+    ``supports_sim_mode`` declares that the backend's constructor accepts a
+    ``sim_mode="interp"|"fast"`` keyword selecting the simulation engine
+    (the ISA-simulated targets); callers such as the flow's deployment
+    stage use it to decide whether to forward the option.
+    """
 
     name: str
     description: str
     supports_stats: bool
     backend_cls: type
     aliases: Tuple[str, ...] = ()
+    supports_sim_mode: bool = False
 
 
 _REGISTRY: Dict[str, TargetSpec] = {}
@@ -43,6 +50,7 @@ def register_target(
     description: str = "",
     supports_stats: bool = False,
     aliases: Tuple[str, ...] = (),
+    supports_sim_mode: bool = False,
 ):
     """Class decorator registering an :class:`~repro.engine.backends.EngineBackend`
     under ``name`` (and optional ``aliases``)."""
@@ -54,6 +62,7 @@ def register_target(
             supports_stats=supports_stats,
             backend_cls=cls,
             aliases=tuple(aliases),
+            supports_sim_mode=supports_sim_mode,
         )
         keys = [key.lower() for key in (name, *aliases)]
         # Validate every key before inserting any, so a collision cannot

@@ -81,6 +81,10 @@ class FlowConfig:
     # disables the deployment stage (the default, matching older behaviour).
     deploy_targets: Sequence[str] = ()
     deploy_frames: int = 3
+    # Simulation engine for the ISA-simulated deploy targets: "fast" runs
+    # the trace-compiled vectorized simulator (bit-exact), "interp" the
+    # reference interpreter.
+    sim_mode: str = "fast"
 
 
 @dataclass
@@ -168,21 +172,26 @@ class FlowResult:
         frames: np.ndarray,
         targets: Sequence[str] = ("stm32", "ibex", "maupiti"),
         verify: bool = True,
+        sim_mode: str = "fast",
     ) -> DeploymentReport:
         """Deploy one flow point on every requested engine target.
 
         Compiles ``point`` with :func:`repro.compile` for each target, runs
         the ``frames`` to measure cycles where the target supports it, and
         (for the ISA-simulated targets) verifies bit-exactness against the
-        integer golden model first — the verification run doubles as the
-        cycle measurement, so each frame is simulated only once.
+        integer golden model first — the verification simulates the whole
+        split in one batched call that doubles as the cycle measurement, so
+        each frame is simulated only once.  ``sim_mode`` selects the
+        simulation engine for targets that support it (``"fast"`` is the
+        trace-compiled simulator, ``"interp"`` the reference interpreter).
         """
-        from ..engine import ModelBundle
+        from ..engine import ModelBundle, get_target
 
         bundle = ModelBundle(point)  # integer lowering shared across targets
         report = DeploymentReport(model_label=point.label)
         for target in targets:
-            eng = compile_engine(bundle, target=target)
+            opts = {"sim_mode": sim_mode} if get_target(target).supports_sim_mode else {}
+            eng = compile_engine(bundle, target=target, **opts)
             measured = None
             if verify and eng.can_verify:
                 measured = eng.verify(frames)
@@ -344,7 +353,10 @@ class OptimizationFlow:
             for label, point in result.table1_selection().items():
                 if id(point) not in deployed:
                     deployed[id(point)] = result.deploy(
-                        point, deploy_frames, targets=cfg.deploy_targets
+                        point,
+                        deploy_frames,
+                        targets=cfg.deploy_targets,
+                        sim_mode=cfg.sim_mode,
                     )
                 result.deployment_reports[label] = deployed[id(point)]
         return result

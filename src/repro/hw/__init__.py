@@ -3,7 +3,9 @@
 from .isa import ABI_NAMES, Instruction, decode, encode, reg
 from .sdotp import pack_lanes, sdotp4, sdotp8, to_signed, to_unsigned, unpack_lanes
 from .memory import DMEM_BASE, DMEM_SIZE, IMEM_BASE, IMEM_SIZE, Memory, MemoryError_
-from .core import CycleModel, ExecutionStats, IbexCore, SimulationError
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from .core import ExecutionStats, IbexCore, SIM_MODES, SimulationError
+from .sim import TraceProgram, compile_trace
 from .sensor import TmosArray, TmosArrayConfig
 from .energy import (
     IBEX_SPEC,
@@ -42,8 +44,12 @@ __all__ = [
     "DMEM_SIZE",
     "IbexCore",
     "CycleModel",
+    "DEFAULT_CYCLE_MODEL",
     "ExecutionStats",
     "SimulationError",
+    "SIM_MODES",
+    "TraceProgram",
+    "compile_trace",
     "TmosArray",
     "TmosArrayConfig",
     "PlatformSpec",

@@ -10,6 +10,17 @@ the MAUPITI SDOTP extension.  It models the quantities the paper reports:
 * and, through :mod:`repro.hw.energy`, the energy per inference.
 
 Programs halt by executing ``ebreak``.
+
+Two execution modes are available (``IbexCore(mode=...)``):
+
+* ``"interp"`` — the per-instruction reference interpreter below.  Simple,
+  obviously correct, slow.
+* ``"fast"`` — the trace-compiled simulator of :mod:`repro.hw.sim`: the
+  program is pre-decoded once into basic blocks, the structured inner loops
+  emitted by :mod:`repro.deploy.codegen` are replaced by vectorized numpy
+  kernels, and cycle/energy accounting is derived analytically from the
+  same :class:`CycleModel`.  Registers, memory, cycle counts and
+  per-mnemonic statistics are bit-exact against the interpreter.
 """
 
 from __future__ import annotations
@@ -17,53 +28,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .isa import BRANCHES, CUSTOM, Instruction, LOADS, STORES
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from .isa import BRANCHES, Instruction
 from .memory import Memory
 from .sdotp import sdotp4, sdotp8, to_signed, to_unsigned
+
+SIM_MODES = ("interp", "fast")
 
 
 class SimulationError(Exception):
     """Raised on illegal instructions, bad memory accesses or runaway programs."""
 
 
-@dataclass
-class CycleModel:
-    """Per-instruction-class cycle costs (IBEX small configuration).
+def _program_fingerprint(program: List[Instruction]) -> int:
+    """Cheap content hash guarding the fast-mode trace cache.
 
-    The vanilla IBEX executes most instructions in 1 cycle, loads in 2
-    (memory access in the second stage), stores in 1 plus a memory cycle,
-    taken branches in 3 (pipeline flush) and jumps in 2.  The MAUPITI SDOTP
-    unit is single-cycle by construction (replicated multipliers keep it off
-    the critical path).
-    """
-
-    alu: int = 1
-    mul: int = 1
-    div: int = 37
-    load: int = 2
-    store: int = 2
-    branch_not_taken: int = 1
-    branch_taken: int = 3
-    jump: int = 2
-    sdotp: int = 1
-
-    def cost(self, instr: Instruction, taken: bool = False) -> int:
-        m = instr.mnemonic
-        if m in CUSTOM:
-            return self.sdotp
-        if m in LOADS:
-            return self.load
-        if m in STORES:
-            return self.store
-        if m in BRANCHES:
-            return self.branch_taken if taken else self.branch_not_taken
-        if m in ("jal", "jalr"):
-            return self.jump
-        if m in ("mul", "mulh"):
-            return self.mul
-        if m in ("div", "rem"):
-            return self.div
-        return self.alu
+    Programs are plain mutable lists of mutable instructions; a stale trace
+    after an in-place edit would silently break the bit-exactness contract,
+    so the cache revalidates on every run (a few hundred microseconds,
+    negligible against a simulated frame)."""
+    return hash(
+        tuple(
+            (i.mnemonic, i.rd, i.rs1, i.rs2, i.imm) for i in program
+        )
+    )
 
 
 @dataclass
@@ -79,6 +67,14 @@ class ExecutionStats:
         self.cycles += cycles
         self.per_mnemonic[mnemonic] = self.per_mnemonic.get(mnemonic, 0) + 1
 
+    def record_block(self, instructions: int, cycles: int, counts: Dict[str, int]) -> None:
+        """Merge aggregated counters from a block of executed instructions."""
+        self.instructions += instructions
+        self.cycles += cycles
+        pm = self.per_mnemonic
+        for mnemonic, count in counts.items():
+            pm[mnemonic] = pm.get(mnemonic, 0) + count
+
     @property
     def sdotp_count(self) -> int:
         return self.per_mnemonic.get("sdotp8", 0) + self.per_mnemonic.get("sdotp4", 0)
@@ -93,15 +89,22 @@ class IbexCore:
         enable_sdotp: bool = True,
         cycle_model: Optional[CycleModel] = None,
         max_instructions: int = 50_000_000,
+        mode: str = "interp",
     ):
+        if mode not in SIM_MODES:
+            raise ValueError(f"unknown simulation mode {mode!r}; expected one of {SIM_MODES}")
         self.memory = memory if memory is not None else Memory()
         self.enable_sdotp = enable_sdotp
-        self.cycle_model = cycle_model or CycleModel()
+        self.cycle_model = cycle_model or DEFAULT_CYCLE_MODEL
         self.max_instructions = max_instructions
+        self.mode = mode
         self.registers = [0] * 32
         self.pc = 0
         self.stats = ExecutionStats()
         self.halted = False
+        # Compiled traces keyed by id(program); the program object itself is
+        # kept alive in the value so a recycled id can never alias a trace.
+        self._trace_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
@@ -121,6 +124,8 @@ class IbexCore:
     def run(self, program: List[Instruction], entry_pc: int = 0) -> ExecutionStats:
         """Execute ``program`` (a list of instructions laid out from address 0
         of the instruction memory, 4 bytes per slot) until ``ebreak``."""
+        if self.mode == "fast":
+            return self._run_fast(program, entry_pc)
         self.pc = entry_pc
         self.halted = False
         count_limit = self.max_instructions
@@ -134,6 +139,45 @@ class IbexCore:
                 raise SimulationError(
                     f"instruction limit exceeded ({count_limit}); runaway program?"
                 )
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _run_fast(self, program: List[Instruction], entry_pc: int = 0) -> ExecutionStats:
+        """Execute through the trace-compiled simulator (:mod:`repro.hw.sim`).
+
+        The compiled trace is cached per program object, so repeated frames
+        of the same compiled model pay the decode cost exactly once.  The
+        trace captures this core's memory; a core only ever owns one memory,
+        which keeps the cache sound.
+        """
+        from .sim import compile_trace  # deferred: sim imports from this module
+
+        key = id(program)
+        fingerprint = _program_fingerprint(program)
+        cached = self._trace_cache.pop(key, None)  # re-insert below: LRU order
+        if cached is None or cached[0] is not program or cached[1] != fingerprint:
+            if len(self._trace_cache) >= 8:
+                # Evict the least recently used trace, so hot programs
+                # survive sweeps over many compiled models on one platform.
+                self._trace_cache.pop(next(iter(self._trace_cache)))
+            trace = compile_trace(
+                program,
+                memory=self.memory,
+                cycle_model=self.cycle_model,
+                enable_sdotp=self.enable_sdotp,
+            )
+            cached = (program, fingerprint, trace)
+        else:
+            trace = cached[2]
+        self._trace_cache[key] = cached
+        self.halted = False
+        self.pc = trace.run(
+            self.registers,
+            self.stats,
+            entry_pc=entry_pc,
+            max_instructions=self.max_instructions,
+        )
+        self.halted = True
         return self.stats
 
     # ------------------------------------------------------------------ #

@@ -16,12 +16,21 @@ energy per frame can be added on top for whole-node accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
 
 
 @dataclass(frozen=True)
 class PlatformSpec:
-    """Static description of one deployment platform."""
+    """Static description of one deployment platform.
+
+    ``cycle_model`` is the per-instruction timing configuration every
+    simulator (reference interpreter and trace-compiled fast path alike)
+    must use for this platform; the IBEX and MAUPITI specs share the single
+    :data:`~repro.hw.cycles.DEFAULT_CYCLE_MODEL` instance so timing cannot
+    drift between platforms or engine backends.
+    """
 
     name: str
     frequency_hz: float
@@ -31,6 +40,7 @@ class PlatformSpec:
     relative_core_area: float
     code_overhead_bytes: int
     description: str = ""
+    cycle_model: CycleModel = field(default=DEFAULT_CYCLE_MODEL)
 
     def cycles_to_seconds(self, cycles: int) -> float:
         return cycles / self.frequency_hz

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .core import CycleModel, ExecutionStats, IbexCore
+from .core import ExecutionStats, IbexCore
 from .energy import IBEX_SPEC, MAUPITI_SPEC, PlatformSpec, system_energy_per_frame_j
 from .isa import Instruction
 from .memory import DMEM_SIZE, IMEM_SIZE, Memory
@@ -34,16 +34,19 @@ class SmartSensorPlatform:
         spec: PlatformSpec = MAUPITI_SPEC,
         limits: Optional[PlatformLimits] = None,
         sensor_config: Optional[TmosArrayConfig] = None,
+        sim_mode: str = "fast",
     ):
         self.spec = spec
         self.limits = limits or PlatformLimits()
         self.memory = Memory(
             imem_size=self.limits.imem_bytes, dmem_size=self.limits.dmem_bytes
         )
+        self.sim_mode = sim_mode
         self.core = IbexCore(
             memory=self.memory,
             enable_sdotp=spec.supports_sdotp,
-            cycle_model=CycleModel(),
+            cycle_model=spec.cycle_model,
+            mode=sim_mode,
         )
         self.sensor = TmosArray(sensor_config)
 
@@ -76,11 +79,11 @@ class SmartSensorPlatform:
         return system_energy_per_frame_j(cycles, self.spec) * 1e6
 
 
-def maupiti_platform() -> SmartSensorPlatform:
+def maupiti_platform(sim_mode: str = "fast") -> SmartSensorPlatform:
     """The taped-out MAUPITI configuration (SDOTP enabled)."""
-    return SmartSensorPlatform(spec=MAUPITI_SPEC)
+    return SmartSensorPlatform(spec=MAUPITI_SPEC, sim_mode=sim_mode)
 
 
-def ibex_platform() -> SmartSensorPlatform:
+def ibex_platform(sim_mode: str = "fast") -> SmartSensorPlatform:
     """The same chip with the custom instructions disabled (baseline)."""
-    return SmartSensorPlatform(spec=IBEX_SPEC)
+    return SmartSensorPlatform(spec=IBEX_SPEC, sim_mode=sim_mode)

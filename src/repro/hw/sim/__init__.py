@@ -1,0 +1,36 @@
+"""Trace-compiled fast simulation of IBEX / MAUPITI programs.
+
+The subsystem behind ``IbexCore(mode="fast")``: programs are pre-decoded
+once into basic blocks of closures, the structured inner loops emitted by
+:mod:`repro.deploy.codegen` (SDOTP dot-product loops, scalar INT8/INT4 MAC
+loops, memset loops) are replaced by vectorized numpy kernels, and cycle /
+energy accounting is derived analytically from the shared
+:class:`~repro.hw.cycles.CycleModel` — bit-exact against the reference
+interpreter in registers, memory, cycle counts and per-mnemonic statistics.
+
+Adding a new recognized kernel:
+
+1. emit the loop from codegen with a label and register it with
+   ``Assembler.hint_kernel(label, kind)``;
+2. add a matcher + vectorized handler in :mod:`repro.hw.sim.kernels`
+   (strict structural match, handler must reproduce exit registers, memory,
+   and statistics exactly);
+3. the parity suite (``tests/test_sim_parity.py``) asserts every hinted
+   loop is vectorized and every vectorized result is bit-exact.
+"""
+
+from .blocks import BasicBlock, build_blocks
+from .decode import Decoded, decode_program
+from .kernels import KernelLoop, recognize_loop
+from .simulator import TraceProgram, compile_trace
+
+__all__ = [
+    "BasicBlock",
+    "Decoded",
+    "KernelLoop",
+    "TraceProgram",
+    "build_blocks",
+    "compile_trace",
+    "decode_program",
+    "recognize_loop",
+]

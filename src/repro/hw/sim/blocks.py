@@ -1,0 +1,160 @@
+"""Basic-block decomposition of a pre-decoded program.
+
+Control flow of the programs emitted by :mod:`repro.deploy.codegen` is fully
+static (branches and ``jal`` with resolved immediates; ``jalr`` is never
+emitted), so the program splits cleanly into basic blocks: maximal
+straight-line runs entered only at their first instruction and left only at
+their last.  Each block carries
+
+* the pre-compiled closures of its non-terminating instructions,
+* aggregated instruction/cycle/per-mnemonic counters for one execution, so
+  statistics are accounted per *block execution* instead of per
+  instruction (and lazily scaled at the end of a run), and
+* optionally a :class:`~repro.hw.sim.kernels.KernelLoop` when the block is
+  one of the recognized vectorizable loops.
+
+Execution counters (``execs`` / ``taken`` / ``kernel_iters`` /
+``kernel_calls``) live on the block and are reset per run by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..memory import Memory
+from .decode import BRANCH, Decoded, JAL, STRAIGHT
+from .kernels import KernelLoop, recognize_loop, try_tap_superloop
+
+
+class BasicBlock:
+    __slots__ = (
+        "start",
+        "pc",
+        "end_pc",
+        "decoded",
+        "ops",
+        "term",
+        "n",
+        "straight_cycles",
+        "counts",
+        "term_cost",
+        "kernel",
+        "execs",
+        "taken",
+        "kernel_iters",
+        "kernel_calls",
+    )
+
+    def __init__(self, start: int, decoded: List[Decoded], cycle_model):
+        self.start = start
+        self.pc = 4 * start
+        self.end_pc = 4 * (start + len(decoded))
+        self.decoded = decoded
+        last = decoded[-1]
+        self.term: Optional[Decoded] = last if last.kind != STRAIGHT else None
+        body = decoded if self.term is None else decoded[:-1]
+        self.ops = [d.op for d in body if d.op is not None]
+        self.n = len(decoded)
+        self.straight_cycles = sum(d.cost for d in body)
+        counts: Dict[str, int] = {}
+        for d in decoded:
+            counts[d.mnemonic] = counts.get(d.mnemonic, 0) + 1
+        self.counts = counts
+        # Fixed cycle cost of a non-branch terminator (branch terminators
+        # are charged taken/not-taken per execution in the simulator).
+        self.term_cost = (
+            self.term.cost
+            if self.term is not None and self.term.kind != BRANCH
+            else 0
+        )
+        self.kernel: Optional[KernelLoop] = None
+        self.execs = 0
+        self.taken = 0
+        self.kernel_iters = 0
+        self.kernel_calls = 0
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.decoded[0].instr.label
+
+    def reset_counters(self) -> None:
+        self.execs = 0
+        self.taken = 0
+        self.kernel_iters = 0
+        self.kernel_calls = 0
+
+
+def build_blocks(
+    decoded: List[Decoded], memory: Memory, cycle_model
+) -> List[BasicBlock]:
+    """Split ``decoded`` into basic blocks and attach kernel handlers."""
+    n = len(decoded)
+    if n == 0:  # the simulator's fallback path reports the bad pc itself
+        return []
+    leaders = {0}
+    for i, d in enumerate(decoded):
+        if d.kind == STRAIGHT:
+            continue
+        if i + 1 < n:
+            leaders.add(i + 1)
+        if d.kind in (BRANCH, JAL):
+            target = d.taken_pc
+            if target % 4 == 0 and 0 <= target // 4 < n:
+                leaders.add(target // 4)
+    ordered = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    for pos, start in enumerate(ordered):
+        end = ordered[pos + 1] if pos + 1 < len(ordered) else n
+        # A block ends at the first control transfer even when the next
+        # leader lies further down.
+        body = []
+        for d in decoded[start:end]:
+            body.append(d)
+            if d.kind != STRAIGHT:
+                break
+        block = BasicBlock(start, body, cycle_model)
+        term = block.term
+        if (
+            term is not None
+            and term.kind == BRANCH
+            and term.taken_pc == block.pc
+        ):
+            block.kernel = recognize_loop(
+                [d.instr for d in block.decoded], start, memory, cycle_model
+            )
+        blocks.append(block)
+    _attach_superloops(blocks, memory, cycle_model)
+    return blocks
+
+
+def _attach_superloops(blocks: List[BasicBlock], memory: Memory, cycle_model) -> None:
+    """Fuse ``entry -> inner-loop -> exit`` block triples into one kernel.
+
+    For every vectorized SDOTP inner loop, look for the enclosing conv tap
+    loop: a fall-through predecessor block and a successor block whose
+    ``bne`` jumps back to the predecessor.  On a match the fused kernel is
+    attached to the predecessor, with its exit past the successor block.
+    """
+    by_pc = {b.pc: b for b in blocks}
+    by_end = {b.end_pc: b for b in blocks if b.term is None}
+    for block in blocks:
+        if block.kernel is None or block.kernel.kind != "sdotp":
+            continue
+        entry = by_end.get(block.pc)
+        exit_block = by_pc.get(block.end_pc)
+        if entry is None or exit_block is None or entry.kernel is not None:
+            continue
+        term = exit_block.term
+        if term is None or term.kind != BRANCH or term.taken_pc != entry.pc:
+            continue
+        fused = try_tap_superloop(
+            [d.instr for d in entry.decoded],
+            block.kernel,
+            [d.instr for d in exit_block.decoded],
+            entry.pc,
+            exit_block.end_pc,
+            memory,
+            cycle_model,
+        )
+        if fused is not None:
+            entry.kernel = fused

@@ -1,0 +1,450 @@
+"""Vectorized replacements for the structured loops emitted by codegen.
+
+:mod:`repro.deploy.codegen` emits a small set of *structured* inner loops —
+the SDOTP SIMD dot-product loop, the scalar INT8 and packed-INT4
+multiply-accumulate loops, and the buffer-clearing memset loop.  These loops
+execute the overwhelming majority of all simulated instructions, so the
+trace compiler pattern-matches their basic blocks and replaces the
+per-instruction interpretation of the *whole remaining trip count* with one
+numpy computation plus analytical cycle accounting.
+
+Correctness contract: a handler must leave **registers, memory, cycle count
+and per-mnemonic statistics** exactly as the reference interpreter would
+after running the loop to completion.  Matching is therefore deliberately
+strict — exact opcode sequence, exact immediates, all-distinct non-zero
+registers — and a handler declines (returns 0 iterations) whenever the
+runtime counter does not describe a plain countdown loop; the simulator
+then falls back to generic block execution, which is always bit-exact.
+
+Recognition is structural, on the assembled instructions themselves.  The
+code generator additionally *annotates* every loop it emits
+(:class:`repro.deploy.codegen.KernelHint`); the annotations are used by
+tests and diagnostics to prove that every emitted loop actually hits a
+vectorized handler (``TraceProgram.vectorized_labels``), so codegen and the
+recognizers cannot silently drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..isa import Instruction
+from ..memory import Memory
+
+MASK = 0xFFFFFFFF
+
+
+class KernelLoop:
+    """A recognized loop with a vectorized executor.
+
+    ``run(regs)`` executes the remaining trip count ``n`` (read from the
+    counter register) in one shot and returns ``n``; returning 0 means the
+    handler declined and the block must be executed generically.  After a
+    successful run the simulator resumes at ``exit_pc`` (the loop's
+    fall-through pc when ``None``).
+
+    ``instrs_per_iter`` / ``straight_cycles_per_iter`` / ``counts_per_iter``
+    feed the analytical statistics: a full run of ``n`` iterations costs
+    ``n * straight + (n - 1) * branch_taken + branch_not_taken`` cycles,
+    where the two branch terms account for the loop's own back-branch.
+    Multi-level loops (e.g. the conv tap loop) fold the cycles and counts
+    of their inner loop into the per-iteration figures.
+    """
+
+    __slots__ = (
+        "kind",
+        "label",
+        "run",
+        "instrs_per_iter",
+        "straight_cycles_per_iter",
+        "counts_per_iter",
+        "exit_pc",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        label: Optional[str],
+        run: Callable,
+        instrs_per_iter: int,
+        straight_cycles_per_iter: int,
+        counts_per_iter: dict,
+        exit_pc: Optional[int] = None,
+    ):
+        self.kind = kind
+        self.label = label
+        self.run = run
+        self.instrs_per_iter = instrs_per_iter
+        self.straight_cycles_per_iter = straight_cycles_per_iter
+        self.counts_per_iter = counts_per_iter
+        self.exit_pc = exit_pc
+        self.meta: dict = {}
+
+    @classmethod
+    def from_body(cls, kind: str, label: Optional[str], run: Callable,
+                  body: List[Instruction], cycle_model) -> "KernelLoop":
+        counts = {}
+        for i in body:
+            counts[i.mnemonic] = counts.get(i.mnemonic, 0) + 1
+        return cls(
+            kind,
+            label,
+            run,
+            instrs_per_iter=len(body),
+            straight_cycles_per_iter=sum(cycle_model.cost(i) for i in body[:-1]),
+            counts_per_iter=counts,
+        )
+
+
+def _counter(regs: List[int], idx: int) -> int:
+    """Trip count if the register holds a positive signed value, else 0."""
+    n = regs[idx]
+    return n if 0 < n < 0x8000_0000 else 0
+
+
+def _signed_nibbles(hi: np.ndarray) -> np.ndarray:
+    """Sign-extend 4-bit lane values held in an int64 array."""
+    return hi - ((hi & 8) << 1)
+
+
+# --------------------------------------------------------------------------- #
+# Pattern matchers.  Each takes the block body (terminator included) and the
+# block's start index; returns a KernelLoop or None.
+# --------------------------------------------------------------------------- #
+def _is(i: Instruction, mnemonic: str, **fields) -> bool:
+    if i.mnemonic != mnemonic:
+        return False
+    return all(getattr(i, k) == v for k, v in fields.items())
+
+
+def _match_sdotp(body, mem: Memory, cycle_model) -> Optional[KernelLoop]:
+    """``lw; lw; sdotp{8,4}; addi +4; addi +4; addi -1; bne`` (7 instrs)."""
+    if len(body) != 7:
+        return None
+    l1, l2, dot, p1, p2, dec, br = body
+    if dot.mnemonic not in ("sdotp8", "sdotp4"):
+        return None
+    P, Q, A, B, ACC, N = l1.rs1, l2.rs1, l1.rd, l2.rd, dot.rd, dec.rd
+    if not (
+        _is(l1, "lw", imm=0)
+        and _is(l2, "lw", imm=0)
+        and dot.rs1 == A
+        and dot.rs2 == B
+        and _is(p1, "addi", rd=P, rs1=P, imm=4)
+        and _is(p2, "addi", rd=Q, rs1=Q, imm=4)
+        and _is(dec, "addi", rd=N, rs1=N, imm=-1)
+        and _is(br, "bne", rs1=N, rs2=0)
+    ):
+        return None
+    if len({P, Q, A, B, ACC, N}) != 6 or 0 in (P, Q, A, B, ACC, N):
+        return None
+    eight_bit = dot.mnemonic == "sdotp8"
+    load_bytes = mem.load_bytes
+
+    def run(regs):
+        n = _counter(regs, N)
+        if n == 0:
+            return 0
+        raw_a = load_bytes(regs[P], 4 * n)
+        raw_b = load_bytes(regs[Q], 4 * n)
+        if eight_bit:
+            va = np.frombuffer(raw_a, dtype=np.int8).astype(np.int64)
+            vb = np.frombuffer(raw_b, dtype=np.int8).astype(np.int64)
+            total = int(va @ vb)
+        else:
+            va = np.frombuffer(raw_a, dtype=np.uint8).astype(np.int64)
+            vb = np.frombuffer(raw_b, dtype=np.uint8).astype(np.int64)
+            total = int(
+                _signed_nibbles(va & 0xF) @ _signed_nibbles(vb & 0xF)
+                + _signed_nibbles(va >> 4) @ _signed_nibbles(vb >> 4)
+            )
+        # Lane sums wrap at 32 bits every iteration; summing everything and
+        # masking once is congruent mod 2**32, hence bit-exact.
+        regs[ACC] = (regs[ACC] + total) & MASK
+        regs[A] = int.from_bytes(raw_a[-4:], "little")
+        regs[B] = int.from_bytes(raw_b[-4:], "little")
+        regs[P] = (regs[P] + 4 * n) & MASK
+        regs[Q] = (regs[Q] + 4 * n) & MASK
+        regs[N] = 0
+        return n
+
+    loop = KernelLoop.from_body("sdotp", body[0].label, run, body, cycle_model)
+    loop.meta = {
+        "P": P, "Q": Q, "A": A, "B": B, "ACC": ACC, "N": N,
+        "eight_bit": eight_bit,
+    }
+    return loop
+
+
+def _match_mac8(body, mem: Memory, cycle_model) -> Optional[KernelLoop]:
+    """``lb; lb; mul; add; addi +1; addi +1; addi -1; bne`` (8 instrs)."""
+    if len(body) != 8:
+        return None
+    l1, l2, mul, acc_add, p1, p2, dec, br = body
+    P, Q, A, B, N = l1.rs1, l2.rs1, l1.rd, l2.rd, dec.rd
+    ACC = acc_add.rd
+    if not (
+        _is(l1, "lb", imm=0)
+        and _is(l2, "lb", imm=0)
+        and _is(mul, "mul", rd=A, rs1=A, rs2=B)
+        and _is(acc_add, "add", rd=ACC, rs1=ACC, rs2=A)
+        and _is(p1, "addi", rd=P, rs1=P, imm=1)
+        and _is(p2, "addi", rd=Q, rs1=Q, imm=1)
+        and _is(dec, "addi", rd=N, rs1=N, imm=-1)
+        and _is(br, "bne", rs1=N, rs2=0)
+    ):
+        return None
+    if len({P, Q, A, B, ACC, N}) != 6 or 0 in (P, Q, A, B, ACC, N):
+        return None
+    load_bytes = mem.load_bytes
+
+    def run(regs):
+        n = _counter(regs, N)
+        if n == 0:
+            return 0
+        va = np.frombuffer(load_bytes(regs[P], n), dtype=np.int8).astype(np.int64)
+        vb = np.frombuffer(load_bytes(regs[Q], n), dtype=np.int8).astype(np.int64)
+        regs[ACC] = (regs[ACC] + int(va @ vb)) & MASK
+        last_a, last_b = int(va[-1]), int(vb[-1])
+        regs[A] = (last_a * last_b) & MASK
+        regs[B] = last_b & MASK
+        regs[P] = (regs[P] + n) & MASK
+        regs[Q] = (regs[Q] + n) & MASK
+        regs[N] = 0
+        return n
+
+    return KernelLoop.from_body("mac8", body[0].label, run, body, cycle_model)
+
+
+def _match_mac4(body, mem: Memory, cycle_model) -> Optional[KernelLoop]:
+    """The packed-INT4 scalar MAC loop (16 instrs, two nibble products)."""
+    if len(body) != 16:
+        return None
+    (l1, l2, lo_and, lo_sll, lo_sra, lo_mul, lo_acc,
+     hi_srl, hi_sll, hi_sra, hi_mul, hi_acc, p1, p2, dec, br) = body
+    P, Q, A, B, N = l1.rs1, l2.rs1, l1.rd, l2.rd, dec.rd
+    C, D, ACC = lo_and.rd, lo_sll.rd, lo_acc.rd
+    if not (
+        _is(l1, "lbu", imm=0)
+        and _is(l2, "lbu", imm=0)
+        and _is(lo_and, "andi", rd=C, rs1=A, imm=0xF)
+        and _is(lo_sll, "slli", rd=D, rs1=B, imm=28)
+        and _is(lo_sra, "srai", rd=D, rs1=D, imm=28)
+        and _is(lo_mul, "mul", rd=D, rs1=D, rs2=C)
+        and _is(lo_acc, "add", rd=ACC, rs1=ACC, rs2=D)
+        and _is(hi_srl, "srli", rd=C, rs1=A, imm=4)
+        and _is(hi_sll, "slli", rd=D, rs1=B, imm=24)
+        and _is(hi_sra, "srai", rd=D, rs1=D, imm=28)
+        and _is(hi_mul, "mul", rd=D, rs1=D, rs2=C)
+        and _is(hi_acc, "add", rd=ACC, rs1=ACC, rs2=D)
+        and _is(p1, "addi", rd=P, rs1=P, imm=1)
+        and _is(p2, "addi", rd=Q, rs1=Q, imm=1)
+        and _is(dec, "addi", rd=N, rs1=N, imm=-1)
+        and _is(br, "bne", rs1=N, rs2=0)
+    ):
+        return None
+    if len({P, Q, A, B, C, D, ACC, N}) != 8 or 0 in (P, Q, A, B, C, D, ACC, N):
+        return None
+    load_bytes = mem.load_bytes
+
+    def run(regs):
+        n = _counter(regs, N)
+        if n == 0:
+            return 0
+        va = np.frombuffer(load_bytes(regs[P], n), dtype=np.uint8).astype(np.int64)
+        vb = np.frombuffer(load_bytes(regs[Q], n), dtype=np.uint8).astype(np.int64)
+        # Activation nibbles are consumed unsigned (PACT outputs); weight
+        # nibbles are sign-extended through the shift pairs.
+        lo_w = _signed_nibbles(vb & 0xF)
+        hi_w = _signed_nibbles(vb >> 4)
+        total = int((va & 0xF) @ lo_w) + int((va >> 4) @ hi_w)
+        regs[ACC] = (regs[ACC] + total) & MASK
+        last_a, last_b = int(va[-1]), int(vb[-1])
+        hi_a = last_a >> 4
+        regs[A] = last_a
+        regs[B] = last_b
+        regs[C] = hi_a
+        regs[D] = ((((last_b >> 4) ^ 8) - 8) * hi_a) & MASK
+        regs[P] = (regs[P] + n) & MASK
+        regs[Q] = (regs[Q] + n) & MASK
+        regs[N] = 0
+        return n
+
+    return KernelLoop.from_body("mac4", body[0].label, run, body, cycle_model)
+
+
+def _match_memset(body, mem: Memory, cycle_model) -> Optional[KernelLoop]:
+    """``sw value; addi ptr += 4; bne ptr, end`` word-fill loop (3 instrs)."""
+    if len(body) != 3:
+        return None
+    st, p1, br = body
+    P, Z, E = st.rs1, st.rs2, br.rs2
+    if not (
+        _is(st, "sw", imm=0)
+        and _is(p1, "addi", rd=P, rs1=P, imm=4)
+        and _is(br, "bne", rs1=P)
+    ):
+        return None
+    # The stored register must stay constant across iterations (x0 always is).
+    if P == 0 or P == E or (Z == P and Z != 0):
+        return None
+    store_bytes = mem.store_bytes
+
+    def run(regs):
+        span = regs[E] - regs[P]
+        if span <= 0 or span % 4:
+            return 0
+        n = span // 4
+        store_bytes(regs[P], regs[Z].to_bytes(4, "little") * n)
+        regs[P] = regs[E]
+        return n
+
+    return KernelLoop.from_body("memset", body[0].label, run, body, cycle_model)
+
+
+_MATCHERS = (_match_sdotp, _match_mac8, _match_mac4, _match_memset)
+
+
+def recognize_loop(
+    body: List[Instruction], start_index: int, mem: Memory, cycle_model
+) -> Optional[KernelLoop]:
+    """Try to match a basic block against the known loop shapes.
+
+    ``body`` must be a block whose terminator is a ``bne`` back to its own
+    first instruction (the caller checks the branch target).
+    """
+    if body[-1].mnemonic != "bne":
+        return None
+    for matcher in _MATCHERS:
+        loop = matcher(body, mem, cycle_model)
+        if loop is not None:
+            return loop
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Second-level recognition: the convolution tap loop.
+#
+# The conv kernel wraps the SDOTP inner product in a "kx" loop over the
+# kernel's horizontal taps:
+#
+#     kx:   mv   P,  AP        ; patch pixel pointer
+#           mv   Q,  WP        ; weight tap pointer
+#           li   N,  W         ; constant words-per-tap
+#     simd: <sdotp inner loop>                    (self-loop block)
+#           mv   WP, Q         ; weights are consumed contiguously
+#           addi AP, AP, S     ; advance one pixel
+#           addi KW, KW, -1
+#           bne  KW, zero, kx
+#
+# Weights are contiguous across taps and the activation rows are strided by
+# a compile-time constant, so the *entire* tap loop is one dot product of
+# ``KW * W`` words — worth recognizing because per-tap trip counts are tiny
+# (``W = ceil(c_in * bits / 32)``) and block dispatch would dominate.
+# --------------------------------------------------------------------------- #
+def try_tap_superloop(
+    entry_body: List[Instruction],
+    inner: KernelLoop,
+    exit_body: List[Instruction],
+    entry_pc: int,
+    exit_fallthrough_pc: int,
+    mem: Memory,
+    cycle_model,
+) -> Optional[KernelLoop]:
+    """Fuse ``entry block -> sdotp inner loop -> exit block`` into one kernel.
+
+    ``entry_body`` is the fall-through block ending at the inner loop,
+    ``exit_body`` the block after it, whose ``bne`` targets ``entry_pc``.
+    Returns a :class:`KernelLoop` to attach to the entry block (with
+    ``exit_pc`` set past the exit block), or ``None``.
+    """
+    if inner.kind != "sdotp" or len(entry_body) != 3 or len(exit_body) != 4:
+        return None
+    m = inner.meta
+    P, Q, A, B, ACC, N = m["P"], m["Q"], m["A"], m["B"], m["ACC"], m["N"]
+    mv_p, mv_q, li_n = entry_body
+    mv_wp, adv_ap, dec, br = exit_body
+    AP, WP, KW = mv_p.rs1, mv_wp.rd, dec.rd
+    if not (
+        _is(mv_p, "add", rd=P, rs2=0)
+        and _is(mv_q, "add", rd=Q, rs1=WP, rs2=0)
+        and _is(li_n, "addi", rd=N, rs1=0)
+        and li_n.imm > 0
+        and _is(mv_wp, "add", rs1=Q, rs2=0)
+        and _is(adv_ap, "addi", rd=AP, rs1=AP)
+        and _is(dec, "addi", rd=KW, rs1=KW, imm=-1)
+        and _is(br, "bne", rs1=KW, rs2=0)
+    ):
+        return None
+    inner_regs = {P, Q, A, B, ACC, N}
+    outer_regs = (AP, WP, KW)
+    if (
+        len(set(outer_regs)) != 3
+        or 0 in outer_regs
+        or inner_regs & set(outer_regs)
+    ):
+        return None
+    W = li_n.imm
+    S = adv_ap.imm
+    eight_bit = m["eight_bit"]
+    load_bytes = mem.load_bytes
+    tap_bytes = 4 * W
+
+    def run(regs):
+        kw = _counter(regs, KW)
+        if kw == 0:
+            return 0
+        ap = regs[AP]
+        raw_b = load_bytes(regs[WP], tap_bytes * kw)
+        if S == tap_bytes:
+            raw_a = load_bytes(ap, tap_bytes * kw)
+        else:
+            raw_a = b"".join(
+                load_bytes((ap + j * S) & MASK, tap_bytes) for j in range(kw)
+            )
+        if eight_bit:
+            va = np.frombuffer(raw_a, dtype=np.int8).astype(np.int64)
+            vb = np.frombuffer(raw_b, dtype=np.int8).astype(np.int64)
+            total = int(va @ vb)
+        else:
+            va = np.frombuffer(raw_a, dtype=np.uint8).astype(np.int64)
+            vb = np.frombuffer(raw_b, dtype=np.uint8).astype(np.int64)
+            total = int(
+                _signed_nibbles(va & 0xF) @ _signed_nibbles(vb & 0xF)
+                + _signed_nibbles(va >> 4) @ _signed_nibbles(vb >> 4)
+            )
+        regs[ACC] = (regs[ACC] + total) & MASK
+        regs[A] = int.from_bytes(raw_a[-4:], "little")
+        regs[B] = int.from_bytes(raw_b[-4:], "little")
+        q_final = (regs[WP] + tap_bytes * kw) & MASK
+        regs[P] = (ap + (kw - 1) * S + tap_bytes) & MASK
+        regs[Q] = q_final
+        regs[WP] = q_final
+        regs[AP] = (ap + kw * S) & MASK
+        regs[N] = 0
+        regs[KW] = 0
+        return kw
+
+    counts = {"add": 3, "addi": 3 + 3 * W, "bne": 1 + W, "lw": 2 * W}
+    counts["sdotp8" if eight_bit else "sdotp4"] = W
+    bt, bnt = cycle_model.branch_taken, cycle_model.branch_not_taken
+    straight = (
+        sum(cycle_model.cost(i) for i in entry_body)
+        + W * inner.straight_cycles_per_iter
+        + (W - 1) * bt
+        + bnt
+        + sum(cycle_model.cost(i) for i in exit_body[:-1])
+    )
+    loop = KernelLoop(
+        "sdotp-taps",
+        entry_body[0].label,
+        run,
+        instrs_per_iter=len(entry_body) + W * inner.instrs_per_iter + len(exit_body),
+        straight_cycles_per_iter=straight,
+        counts_per_iter=counts,
+        exit_pc=exit_fallthrough_pc,
+    )
+    return loop

@@ -1,0 +1,261 @@
+"""The trace-compiled fast simulator.
+
+:func:`compile_trace` pre-decodes a program once (closures, basic blocks,
+recognized kernel loops); :meth:`TraceProgram.run` then executes it against
+a register file and an :class:`~repro.hw.core.ExecutionStats`, bit-exact
+with :class:`~repro.hw.core.IbexCore`'s reference interpreter in registers,
+memory, final pc, cycle count and per-mnemonic statistics.
+
+Execution strategy, fastest first:
+
+1. **Kernel blocks** — recognized loops run their whole remaining trip
+   count as one numpy computation (:mod:`repro.hw.sim.kernels`).
+2. **Block dispatch** — ordinary blocks execute their pre-compiled
+   closures back to back; statistics are counted per block execution and
+   scaled analytically when the run finishes.
+3. **Single-step fallback** — a pc that does not land on a block leader
+   (e.g. a ``jalr`` into the middle of a block) is executed one
+   instruction at a time with exact per-instruction accounting until the
+   control flow re-joins a block boundary.
+
+Known (and accepted) divergence from the interpreter: when a program dies
+mid-loop — out-of-bounds access inside a vectorized kernel, or blowing the
+instruction limit — the fast simulator raises the same exception type but
+may leave *partial* architectural state and counters behind, because whole
+loops are committed atomically.  Completed runs are always bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core import ExecutionStats, SimulationError
+from ..cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from ..isa import Instruction
+from ..memory import Memory
+from .blocks import BasicBlock, build_blocks
+from .decode import BRANCH, EBREAK, JAL, JALR, MASK, STRAIGHT, decode_program
+
+
+class TraceProgram:
+    """A program compiled for fast execution against one memory."""
+
+    def __init__(
+        self,
+        program: List[Instruction],
+        memory: Memory,
+        cycle_model: CycleModel,
+        enable_sdotp: bool,
+    ):
+        self.program = program
+        self.memory = memory
+        self.cycle_model = cycle_model
+        self.enable_sdotp = enable_sdotp
+        self.decoded = decode_program(program, memory, cycle_model, enable_sdotp)
+        self.blocks = build_blocks(self.decoded, memory, cycle_model)
+        self.block_at: Dict[int, BasicBlock] = {b.pc: b for b in self.blocks}
+
+    # ------------------------------------------------------------------ #
+    def vectorized_labels(self) -> Set[str]:
+        """Labels of the blocks that run through a vectorized kernel."""
+        return {
+            b.label for b in self.blocks if b.kernel is not None and b.label
+        }
+
+    def kernel_counts(self) -> Dict[str, int]:
+        """Number of vectorized blocks per kernel kind (diagnostics)."""
+        out: Dict[str, int] = {}
+        for b in self.blocks:
+            if b.kernel is not None:
+                out[b.kernel.kind] = out.get(b.kernel.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        regs: List[int],
+        stats: ExecutionStats,
+        entry_pc: int = 0,
+        max_instructions: int = 50_000_000,
+    ) -> int:
+        """Execute until ``ebreak``; returns the final pc (the ``ebreak``).
+
+        ``regs`` is mutated in place; executed instructions/cycles/counts
+        are *added* to ``stats``, matching the accumulating behaviour of
+        the interpreter.
+        """
+        blocks = self.block_at
+        decoded = self.decoded
+        n_instr = len(decoded)
+        for b in self.blocks:
+            b.reset_counters()
+        slow_instr = 0
+        slow_cycles = 0
+        slow_counts: Dict[str, int] = {}
+        executed = 0
+        budget = max_instructions - stats.instructions
+        pc = entry_pc
+        final_pc = None
+        cm = self.cycle_model
+        bt, bnt = cm.branch_taken, cm.branch_not_taken
+
+        while final_pc is None:
+            block = blocks.get(pc)
+            if block is None:
+                # ---------------- single-step fallback ---------------- #
+                index = pc // 4
+                if not 0 <= index < n_instr:
+                    self._commit(stats, slow_instr, slow_cycles, slow_counts)
+                    raise SimulationError(f"PC 0x{pc:08x} outside the program")
+                d = decoded[index]
+                kind = d.kind
+                m = d.mnemonic
+                if kind == STRAIGHT:
+                    if m == "auipc":
+                        # The closure is specialized on the aligned static
+                        # address; at a misaligned pc use the live one.
+                        if d.rd:
+                            regs[d.rd] = (pc + d.imm) & MASK
+                    elif d.op is not None:
+                        d.op(regs)
+                    slow_cycles += d.cost
+                    pc += 4
+                elif kind == BRANCH:
+                    if d.cond(regs):
+                        slow_cycles += bt
+                        pc += d.imm
+                    else:
+                        slow_cycles += bnt
+                        pc += 4
+                elif kind == JAL:
+                    if d.rd:
+                        regs[d.rd] = (pc + 4) & MASK
+                    slow_cycles += d.cost
+                    pc += d.imm
+                elif kind == JALR:
+                    target = (regs[d.rs1] + d.imm) & ~1
+                    if d.rd:
+                        regs[d.rd] = (pc + 4) & MASK
+                    slow_cycles += d.cost
+                    pc = target
+                else:  # EBREAK
+                    slow_cycles += d.cost
+                    final_pc = pc
+                slow_counts[m] = slow_counts.get(m, 0) + 1
+                slow_instr += 1
+                executed += 1
+                if executed > budget:
+                    self._commit(stats, slow_instr, slow_cycles, slow_counts)
+                    raise SimulationError(
+                        f"instruction limit exceeded ({max_instructions}); "
+                        "runaway program?"
+                    )
+                continue
+
+            kernel = block.kernel
+            if kernel is not None:
+                iters = kernel.run(regs)
+                if iters:
+                    block.kernel_iters += iters
+                    block.kernel_calls += 1
+                    executed += kernel.instrs_per_iter * iters
+                    if executed > budget:
+                        self._commit(stats, slow_instr, slow_cycles, slow_counts)
+                        raise SimulationError(
+                            f"instruction limit exceeded ({max_instructions}); "
+                            "runaway program?"
+                        )
+                    pc = kernel.exit_pc if kernel.exit_pc is not None else block.end_pc
+                    continue
+
+            for op in block.ops:
+                op(regs)
+            block.execs += 1
+            executed += block.n
+            term = block.term
+            if term is None:
+                pc = block.end_pc
+            else:
+                kind = term.kind
+                if kind == BRANCH:
+                    if term.cond(regs):
+                        block.taken += 1
+                        pc = term.taken_pc
+                    else:
+                        pc = block.end_pc
+                elif kind == JAL:
+                    if term.rd:
+                        regs[term.rd] = (term.pc + 4) & MASK
+                    pc = term.taken_pc
+                elif kind == JALR:
+                    target = (regs[term.rs1] + term.imm) & ~1
+                    if term.rd:
+                        regs[term.rd] = (term.pc + 4) & MASK
+                    pc = target
+                else:  # EBREAK
+                    final_pc = term.pc
+            if executed > budget:
+                self._commit(stats, slow_instr, slow_cycles, slow_counts)
+                raise SimulationError(
+                    f"instruction limit exceeded ({max_instructions}); "
+                    "runaway program?"
+                )
+
+        self._commit(stats, slow_instr, slow_cycles, slow_counts)
+        return final_pc
+
+    # ------------------------------------------------------------------ #
+    def _commit(
+        self,
+        stats: ExecutionStats,
+        slow_instr: int,
+        slow_cycles: int,
+        slow_counts: Dict[str, int],
+    ) -> None:
+        """Scale per-block counters into exact aggregate statistics."""
+        cm = self.cycle_model
+        bt, bnt = cm.branch_taken, cm.branch_not_taken
+        total_instr = slow_instr
+        total_cycles = slow_cycles
+        merged: Dict[str, int] = dict(slow_counts)
+        for b in self.blocks:
+            execs = b.execs
+            if execs:
+                total_instr += execs * b.n
+                cycles = execs * b.straight_cycles
+                if b.term is not None and b.term.kind == BRANCH:
+                    cycles += b.taken * bt + (execs - b.taken) * bnt
+                else:
+                    cycles += execs * b.term_cost
+                total_cycles += cycles
+                for m, c in b.counts.items():
+                    merged[m] = merged.get(m, 0) + execs * c
+            k = b.kernel
+            if k is not None and b.kernel_iters:
+                iters, calls = b.kernel_iters, b.kernel_calls
+                total_instr += iters * k.instrs_per_iter
+                # Each vectorized call runs its loop to completion: the
+                # back-branch is taken on all but the final iteration.
+                total_cycles += (
+                    iters * k.straight_cycles_per_iter
+                    + (iters - calls) * bt
+                    + calls * bnt
+                )
+                for m, c in k.counts_per_iter.items():
+                    merged[m] = merged.get(m, 0) + iters * c
+        stats.record_block(total_instr, total_cycles, merged)
+
+
+def compile_trace(
+    program: List[Instruction],
+    memory: Memory,
+    cycle_model: Optional[CycleModel] = None,
+    enable_sdotp: bool = True,
+) -> TraceProgram:
+    """Compile ``program`` for fast execution against ``memory``."""
+    return TraceProgram(
+        program,
+        memory,
+        cycle_model or DEFAULT_CYCLE_MODEL,
+        enable_sdotp,
+    )

@@ -1,0 +1,450 @@
+"""Fast-simulator parity: mode="fast" must be bit-exact vs the interpreter.
+
+The contract of :mod:`repro.hw.sim`: for any program that runs to
+completion, the trace-compiled simulator leaves **registers, data memory,
+final pc, instruction count, cycle count and per-mnemonic statistics**
+exactly as the reference interpreter would.  This suite checks the contract
+
+* on every Table-I deployment configuration (INT8 / mixed / INT4, scalar
+  and SDOTP kernels),
+* on the four recognized kernel loops in isolation (driven through the
+  real codegen emitters),
+* on randomized straight-line / branchy programs that exercise the
+  single-step fallback and the closure semantics of every instruction,
+* and on adversarial near-miss loops that must fall back gracefully.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deploy import compile_network, simulate_batch, verify_against_golden
+from repro.deploy.codegen import Assembler, _emit_inner_product
+from repro.deploy.packing import pack_padded_run, padded_run_length
+from repro.hw import (
+    DMEM_BASE,
+    DMEM_SIZE,
+    IbexCore,
+    Instruction,
+    compile_trace,
+    ibex_platform,
+    maupiti_platform,
+    reg,
+)
+from repro.quant import PrecisionScheme, convert_to_integer, quantize_model
+
+
+# --------------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------------- #
+def assert_cores_equal(interp: IbexCore, fast: IbexCore) -> None:
+    assert fast.registers == interp.registers
+    assert fast.pc == interp.pc
+    assert fast.halted == interp.halted
+    assert fast.stats.instructions == interp.stats.instructions
+    assert fast.stats.cycles == interp.stats.cycles
+    assert fast.stats.per_mnemonic == interp.stats.per_mnemonic
+    assert fast.memory.load_bytes(DMEM_BASE, DMEM_SIZE) == interp.memory.load_bytes(
+        DMEM_BASE, DMEM_SIZE
+    )
+
+
+def run_both(program, setup=None, enable_sdotp=True):
+    """Run ``program`` on both modes, assert full-state parity."""
+    cores = []
+    for mode in ("interp", "fast"):
+        core = IbexCore(enable_sdotp=enable_sdotp, mode=mode)
+        if setup is not None:
+            setup(core)
+        core.run(program)
+        cores.append(core)
+    interp, fast = cores
+    assert_cores_equal(interp, fast)
+    return interp, fast
+
+
+# --------------------------------------------------------------------------- #
+# Table-I deployment configurations
+# --------------------------------------------------------------------------- #
+# First layer stays 8-bit: the input buffer always holds 8-bit activations.
+TABLE1_SCHEMES = [(8, 8, 8, 8), (8, 4, 4, 8), (8, 4, 8, 4)]
+
+
+@pytest.fixture(scope="module", params=TABLE1_SCHEMES, ids=lambda s: "-".join(map(str, s)))
+def table1_network(request, trained_small_model, prepared_data):
+    qmodel = quantize_model(
+        trained_small_model,
+        PrecisionScheme(request.param),
+        calibration_data=prepared_data["train"].inputs[:200],
+    )
+    return convert_to_integer(qmodel)
+
+
+@pytest.mark.parametrize("use_sdotp", [False, True], ids=["scalar", "sdotp"])
+def test_table1_config_bit_exact(table1_network, prepared_data, use_sdotp):
+    """Registers, memory, cycles, energy: fast == interp on real models."""
+    frames = prepared_data["preprocessor"](prepared_data["test_session"].frames[:2])
+    compiled = compile_network(table1_network, use_sdotp=use_sdotp)
+    factory = maupiti_platform if use_sdotp else ibex_platform
+    platforms = {mode: factory(sim_mode=mode) for mode in ("interp", "fast")}
+    batches = {
+        mode: simulate_batch(platform, compiled, frames)
+        for mode, platform in platforms.items()
+    }
+    bi, bf = batches["interp"], batches["fast"]
+    np.testing.assert_array_equal(bf.predictions, bi.predictions)
+    np.testing.assert_array_equal(bf.logits, bi.logits)
+    np.testing.assert_array_equal(bf.cycles_per_frame, bi.cycles_per_frame)
+    spec = platforms["fast"].spec
+    for ci, cf in zip(bi.cycles_per_frame, bf.cycles_per_frame):
+        assert spec.energy_per_inference_uj(int(cf)) == spec.energy_per_inference_uj(
+            int(ci)
+        )
+    assert_cores_equal(platforms["interp"].core, platforms["fast"].core)
+    # And both agree with the vectorized integer golden model.
+    verify_against_golden(factory(sim_mode="fast"), compiled, table1_network, frames)
+
+
+def test_every_codegen_hint_is_vectorized(table1_network):
+    """Every loop codegen annotates must hit a vectorized handler."""
+    for use_sdotp in (False, True):
+        compiled = compile_network(table1_network, use_sdotp=use_sdotp)
+        platform = (maupiti_platform if use_sdotp else ibex_platform)(sim_mode="fast")
+        trace = compile_trace(
+            compiled.program, platform.memory, enable_sdotp=use_sdotp
+        )
+        assert compiled.kernel_hints, "codegen should annotate its loops"
+        vectorized = trace.vectorized_labels()
+        missing = {h.label for h in compiled.kernel_hints} - vectorized
+        assert not missing, f"unvectorized codegen loops: {sorted(missing)}"
+
+
+# --------------------------------------------------------------------------- #
+# Kernel loops in isolation (through the real codegen emitters)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("bits", [4, 8])
+@pytest.mark.parametrize("use_sdotp", [False, True], ids=["scalar", "sdotp"])
+@pytest.mark.parametrize("run_values", [1, 3, 17, 64])
+def test_inner_product_loops_bit_exact(bits, use_sdotp, run_values):
+    rng = np.random.default_rng(run_values * 10 + bits + use_sdotp)
+    lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    acts = rng.integers(0, hi + 1, size=run_values)  # PACT: non-negative
+    weights = rng.integers(lo, hi + 1, size=run_values)
+    act_addr = DMEM_BASE
+    padded = padded_run_length(run_values, bits)
+    wt_addr = DMEM_BASE + 2048
+
+    asm = Assembler()
+    asm.li("t1", act_addr)
+    asm.li("t2", wt_addr)
+    asm.li("s7", 12345)  # accumulator seed
+    _emit_inner_product(asm, "ip", bits, use_sdotp, run_values)
+    asm.emit("ebreak")
+    program = asm.assemble()
+
+    def setup(core):
+        core.memory.store_bytes(act_addr, pack_padded_run(acts, bits))
+        core.memory.store_bytes(wt_addr, pack_padded_run(weights, bits))
+
+    interp, fast = run_both(program, setup=setup)
+    expected = (12345 + int(acts @ weights)) & 0xFFFFFFFF
+    assert interp.registers[reg("s7")] == expected
+
+
+@pytest.mark.parametrize("size_words", [1, 7, 33])
+def test_memset_loop_bit_exact(size_words):
+    from repro.deploy.codegen import emit_memset
+
+    asm = Assembler()
+    emit_memset(asm, "clr", DMEM_BASE + 64, size_words * 4)
+    asm.emit("ebreak")
+    program = asm.assemble()
+
+    def setup(core):
+        core.memory.store_bytes(DMEM_BASE, bytes(range(1, 200)))
+
+    interp, _fast = run_both(program, setup=setup)
+    assert interp.memory.load_bytes(DMEM_BASE + 64, size_words * 4) == bytes(
+        4 * size_words
+    )
+
+
+def test_memset_nonzero_value_vectorized():
+    """A word-fill of a non-zero register still matches the interpreter."""
+    asm = Assembler()
+    asm.li("a5", 0x1234ABCD)
+    asm.li("t1", DMEM_BASE)
+    asm.li("t2", DMEM_BASE + 32)
+    asm.label("fill")
+    asm.emit("sw", rs1="t1", rs2="a5", imm=0)
+    asm.emit("addi", rd="t1", rs1="t1", imm=4)
+    asm.emit("bne", rs1="t1", rs2="t2", target="fill")
+    asm.emit("ebreak")
+    interp, _ = run_both(asm.assemble())
+    assert interp.memory.load_word(DMEM_BASE + 28, signed=False) == 0x1234ABCD
+
+
+def test_conv_tap_superloop_fused(table1_network):
+    """The SDOTP conv tap loops are fused into 'sdotp-taps' kernels."""
+    compiled = compile_network(table1_network, use_sdotp=True)
+    platform = maupiti_platform(sim_mode="fast")
+    trace = compile_trace(compiled.program, platform.memory, enable_sdotp=True)
+    assert trace.kernel_counts().get("sdotp-taps", 0) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial near-misses: must fall back, not mis-vectorize
+# --------------------------------------------------------------------------- #
+def test_aliased_sdotp_loop_falls_back():
+    """An sdotp-shaped loop whose accumulator aliases a pointer register
+    must not be vectorized (and must still match the interpreter)."""
+    asm = Assembler()
+    asm.li("t1", DMEM_BASE)
+    asm.li("t2", DMEM_BASE + 64)
+    asm.li("t3", 4)
+    asm.label("loop")
+    asm.emit("lw", rd="t4", rs1="t1", imm=0)
+    asm.emit("lw", rd="t5", rs1="t2", imm=0)
+    asm.emit("sdotp8", rd="t1", rs1="t4", rs2="t5")  # acc == act pointer!
+    asm.emit("addi", rd="t1", rs1="t1", imm=4)
+    asm.emit("addi", rd="t2", rs1="t2", imm=4)
+    asm.emit("addi", rd="t3", rs1="t3", imm=-1)
+    asm.emit("bne", rs1="t3", rs2="zero", target="loop")
+    asm.emit("ebreak")
+    program = asm.assemble()
+
+    core = IbexCore(mode="fast")
+    trace = compile_trace(program, core.memory, enable_sdotp=True)
+    assert not trace.vectorized_labels()
+
+    def setup(c):
+        c.memory.store_bytes(DMEM_BASE, bytes([1] * 128))
+
+    run_both(program, setup=setup)
+
+
+def test_jump_into_block_interior_single_steps():
+    """A jalr landing mid-block exercises the single-step fallback."""
+    asm = Assembler()
+    asm.li("t0", 16)  # address of the 5th instruction slot (li a2 below)
+    asm.emit("jalr", rd="ra", rs1="t0", imm=0)
+    asm.li("a0", 111)  # skipped
+    asm.li("a1", 222)  # skipped
+    # Interior landing point: these three form one straight block with the
+    # two above, entered at its middle.
+    asm.li("a2", 333)
+    asm.li("a3", 444)
+    asm.emit("ebreak")
+    program = asm.assemble()
+    interp, fast = run_both(program)
+    assert interp.registers[reg("a2")] == 333
+    assert interp.registers[reg("a0")] == 0
+
+
+def test_auipc_at_misaligned_pc_matches_interpreter():
+    """jalr only clears bit 0, so auipc can execute at pc % 4 != 0; the
+    fallback must use the live pc, not the closure's static address."""
+    program = [
+        Instruction("addi", rd=reg("t0"), rs1=0, imm=10),
+        Instruction("jalr", rd=reg("ra"), rs1=reg("t0"), imm=0),
+        Instruction("auipc", rd=reg("a0"), imm=0),  # runs at pc=10
+        Instruction("addi", rd=reg("a1"), rs1=0, imm=5),
+        Instruction("ebreak"),
+    ]
+    interp, _fast = run_both(program)
+    assert interp.registers[reg("a0")] == 10
+
+
+# --------------------------------------------------------------------------- #
+# Randomized programs
+# --------------------------------------------------------------------------- #
+R_OPS = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+         "mul", "mulh", "div", "rem", "sdotp8", "sdotp4"]
+I_OPS = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
+SHIFT_OPS = ["slli", "srli", "srai"]
+
+
+def _random_program(rng: np.random.Generator, length: int = 80):
+    """A random halting program: ALU soup + aligned dmem traffic + forward
+    branches.  Register x5 holds the dmem base and is never overwritten."""
+    base = reg("t0")  # x5
+    program = [
+        Instruction("lui", rd=base, imm=DMEM_BASE),
+    ]
+    regs_pool = [r for r in range(1, 32) if r != base]
+    for i in range(length):
+        kind = rng.random()
+        rd = int(rng.choice(regs_pool))
+        rs1 = int(rng.integers(0, 32))
+        rs2 = int(rng.integers(0, 32))
+        if kind < 0.55:
+            program.append(
+                Instruction(str(rng.choice(R_OPS)), rd=rd, rs1=rs1, rs2=rs2)
+            )
+        elif kind < 0.75:
+            imm = int(rng.integers(-2048, 2048))
+            program.append(Instruction(str(rng.choice(I_OPS)), rd=rd, rs1=rs1, imm=imm))
+        elif kind < 0.82:
+            program.append(
+                Instruction(str(rng.choice(SHIFT_OPS)), rd=rd, rs1=rs1,
+                            imm=int(rng.integers(0, 32)))
+            )
+        elif kind < 0.90:
+            offset = int(rng.integers(0, 510)) * 4
+            mnemonic = str(rng.choice(["lw", "lh", "lhu", "lb", "lbu"]))
+            program.append(Instruction(mnemonic, rd=rd, rs1=base, imm=offset))
+        elif kind < 0.96:
+            offset = int(rng.integers(0, 510)) * 4
+            mnemonic = str(rng.choice(["sw", "sh", "sb"]))
+            program.append(Instruction(mnemonic, rs1=base, rs2=rs2, imm=offset))
+        else:
+            # Forward branch: always terminates.
+            mnemonic = str(rng.choice(sorted(["beq", "bne", "blt", "bge", "bltu", "bgeu"])))
+            skip = int(rng.integers(1, 6))
+            program.append(
+                Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=4 * (skip + 1))
+            )
+    program.append(Instruction("ebreak"))
+    # Forward branches may overshoot the ebreak; pad with harmless targets.
+    program.extend(Instruction("addi", rd=1, rs1=1, imm=1) for _ in range(8))
+    program.append(Instruction("ebreak"))
+    return program
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_programs_bit_exact(seed):
+    rng = np.random.default_rng(seed)
+    program = _random_program(rng)
+    init_regs = [0] + [int(v) for v in rng.integers(0, 2**32, size=31, dtype=np.uint64)]
+    dmem_fill = rng.integers(0, 256, size=4096, dtype=np.uint64).astype("uint8").tobytes()
+
+    def setup(core):
+        core.registers = list(init_regs)
+        core.memory.store_bytes(DMEM_BASE, dmem_fill)
+
+    run_both(program, setup=setup)
+
+
+def test_empty_program_raises_simulation_error_in_both_modes():
+    from repro.hw import SimulationError
+
+    for mode in ("interp", "fast"):
+        core = IbexCore(mode=mode)
+        with pytest.raises(SimulationError, match="outside the program"):
+            core.run([])
+
+
+def test_runaway_program_raises_in_both_modes():
+    from repro.hw import SimulationError
+
+    infinite = [Instruction("jal", rd=0, imm=0)]
+    for mode in ("interp", "fast"):
+        core = IbexCore(max_instructions=1000, mode=mode)
+        with pytest.raises(SimulationError, match="instruction limit"):
+            core.run(infinite)
+
+
+def test_trace_cache_invalidated_on_in_place_edit():
+    """Mutating a program list between runs must recompile the trace."""
+    program = [
+        Instruction("addi", rd=reg("t0"), rs1=0, imm=7),
+        Instruction("ebreak"),
+    ]
+    core = IbexCore(mode="fast")
+    core.run(program)
+    assert core.registers[reg("t0")] == 7
+    program[0] = Instruction("addi", rd=reg("t0"), rs1=0, imm=99)
+    core.reset()
+    core.run(program)
+    assert core.registers[reg("t0")] == 99
+
+
+def test_sdotp_rejected_on_vanilla_core_in_fast_mode():
+    from repro.hw import SimulationError
+
+    program = [Instruction("sdotp8", rd=1, rs1=2, rs2=3), Instruction("ebreak")]
+    core = IbexCore(enable_sdotp=False, mode="fast")
+    with pytest.raises(SimulationError, match="SDOTP"):
+        core.run(program)
+
+
+# --------------------------------------------------------------------------- #
+# Batched execution
+# --------------------------------------------------------------------------- #
+class TestSimulateBatch:
+    def test_matches_per_frame_runs(self, integer_network, prepared_data):
+        from repro.deploy.runtime import load_model, run_frame
+
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:4]
+        )
+        compiled = compile_network(integer_network, use_sdotp=True)
+        batch_platform = maupiti_platform(sim_mode="fast")
+        batch = simulate_batch(batch_platform, compiled, frames)
+
+        single_platform = maupiti_platform(sim_mode="fast")
+        load_model(single_platform, compiled)
+        singles = [run_frame(single_platform, compiled, f) for f in frames]
+        np.testing.assert_array_equal(
+            batch.predictions, [r.prediction for r in singles]
+        )
+        np.testing.assert_array_equal(
+            batch.cycles_per_frame, [r.cycles for r in singles]
+        )
+        np.testing.assert_array_equal(batch.logits, np.stack([r.logits for r in singles]))
+
+    def test_engine_predict_batch_modes_agree(self, integer_network, prepared_data):
+        import repro
+
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        fast = repro.compile(integer_network, target="maupiti", sim_mode="fast")
+        interp = repro.compile(integer_network, target="maupiti", sim_mode="interp")
+        bf, bi = fast.predict_batch(frames), interp.predict_batch(frames)
+        np.testing.assert_array_equal(bf.predictions, bi.predictions)
+        np.testing.assert_array_equal(bf.logits, bi.logits)
+        np.testing.assert_array_equal(bf.cycles_per_frame, bi.cycles_per_frame)
+        np.testing.assert_array_equal(
+            bf.energy_uj_per_frame, bi.energy_uj_per_frame
+        )
+
+    def test_empty_batch(self, integer_network):
+        compiled = compile_network(integer_network, use_sdotp=True)
+        for empty in (np.empty((0, 1, 8, 8)), [], np.asarray([])):
+            batch = simulate_batch(maupiti_platform(), compiled, empty)
+            assert len(batch.predictions) == 0
+            assert batch.logits.shape == (0, compiled.num_classes)
+        verify_against_golden(
+            maupiti_platform(), compiled, integer_network, np.asarray([])
+        )
+
+    def test_empty_batch_through_engine(self, integer_network):
+        import repro
+
+        batch = repro.compile(integer_network, target="maupiti").predict_batch([])
+        assert len(batch) == 0
+
+    def test_conflicting_platform_and_sim_mode_rejected(self, integer_network):
+        import repro
+        from repro.engine import EngineError
+
+        platform = maupiti_platform(sim_mode="fast")
+        with pytest.raises(EngineError, match="conflicting"):
+            repro.compile(
+                integer_network, target="maupiti",
+                platform=platform, sim_mode="interp",
+            )
+        # Matching or omitted sim_mode is fine.
+        engine = repro.compile(
+            integer_network, target="maupiti", platform=platform, sim_mode="fast"
+        )
+        assert engine.backend.sim_mode == "fast"
+
+    def test_keep_results_carries_stats(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:2]
+        )
+        compiled = compile_network(integer_network, use_sdotp=True)
+        batch = simulate_batch(maupiti_platform(), compiled, frames, keep_results=True)
+        assert len(batch.results) == 2
+        assert all(r.stats.instructions > 0 for r in batch.results)
