@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Serial vs parallel vs cached benchmark of the optimization sweep layers.
+
+Runs the paper's two sweep layers — the 4-lambda PIT NAS sweep (Fig. 5) and
+the exhaustive mixed-precision QAT exploration of one discovered
+architecture — three times through the :mod:`repro.parallel` machinery:
+
+1. ``serial``  — the reference in-process loop, cold;
+2. ``process`` — a 4-worker process pool, cold, filling the result cache;
+3. ``cached``  — the same parallel run again, replayed from the
+   content-addressed result cache (the "repeated flow run" path).
+
+All three runs are asserted **bit-identical** (architecture metrics, trained
+weights, QAT points) before any timing is reported, then the results are
+written as machine-readable JSON (``BENCH_flow.json`` at the repository root
+by default):
+
+* ``parallel_speedup`` — serial / process wall-clock on the cold sweep.
+  This tracks the worker pool itself and is only meaningful (and only
+  enforced, at >=2.5x) on machines with >= 4 CPUs; on smaller hosts it is
+  recorded for the trajectory but not gated.
+* ``cached_speedup`` — serial / cached-rerun wall-clock; this is what a
+  repeated flow run experiences and must clear the 2.5x acceptance bar on
+  any machine.
+* ``speedup`` — the best end-to-end improvement achieved over the cold
+  serial sweep on this host.
+
+CI runs ``perf_flow.py --quick`` as a smoke job, so a serial/process
+mismatch or a cache corruption fails every PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_flow.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.datasets import generate_linaige
+from repro.flow import Preprocessor, seed_builder
+from repro.nas.search import SearchConfig, run_search
+from repro.nn import ArrayDataset
+from repro.nn.losses import CrossEntropyLoss, balanced_class_weights
+from repro.parallel import ResultCache
+from repro.quant import QATConfig, explore_mixed_precision
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+WORKERS = 4
+
+FULL = dict(
+    lambdas=(1e-6, 1e-5, 1e-4, 5e-4),
+    search=dict(warmup_epochs=1, search_epochs=6, finetune_epochs=6, batch_size=128),
+    qat_epochs=3,
+    conv_channels=(10, 10),
+    hidden=16,
+    scale=0.08,
+)
+QUICK = dict(
+    lambdas=(1e-5, 5e-4),
+    search=dict(warmup_epochs=0, search_epochs=1, finetune_epochs=1, batch_size=128),
+    qat_epochs=1,
+    conv_channels=(6, 6),
+    hidden=8,
+    scale=0.03,
+)
+
+
+def build_workload(cfg):
+    dataset = generate_linaige(seed=0, scale=cfg["scale"])
+    test_session = dataset.session(2)
+    frames = np.concatenate(
+        [s.frames for s in dataset.sessions if s.session_id != 2]
+    )
+    labels = np.concatenate(
+        [s.labels for s in dataset.sessions if s.session_id != 2]
+    )
+    pre = Preprocessor.fit(frames)
+    train_set = ArrayDataset(pre(frames), labels)
+    test_set = ArrayDataset(pre(test_session.frames), test_session.labels)
+    loss_fn = CrossEntropyLoss(balanced_class_weights(labels, 4))
+    return train_set, test_set, loss_fn
+
+
+def run_sweeps(cfg, train_set, test_set, loss_fn, executor, max_workers, cache):
+    """One full pass over both sweep layers; returns (nas_points, qat_points)."""
+    points = run_search(
+        seed_builder(cfg["conv_channels"], cfg["hidden"]),
+        train_set,
+        test_set,
+        config=SearchConfig(lambdas=cfg["lambdas"], **cfg["search"]),
+        loss_fn=loss_fn,
+        seed=0,
+        executor=executor,
+        max_workers=max_workers,
+        cache=cache,
+    )
+    # QAT-explore the mid-sized discovered architecture (full enumeration:
+    # 2^3 = 8 schemes for the 4-layer family).
+    arch = points[len(points) // 2]
+    quantized = explore_mixed_precision(
+        arch.model,
+        train_set,
+        test_set,
+        config=QATConfig(epochs=cfg["qat_epochs"], batch_size=cfg["search"]["batch_size"]),
+        loss_fn=loss_fn,
+        seed=0,
+        source_label=arch.describe(),
+        executor=executor,
+        max_workers=max_workers,
+        cache=cache,
+    )
+    return points, quantized
+
+
+def signature(points, quantized):
+    """Bit-level identity of a pass: metrics and trained weights."""
+    return (
+        [
+            (p.strength, p.params, p.macs, p.bas,
+             tuple(param.data.tobytes() for param in p.model.parameters()))
+            for p in points
+        ],
+        [
+            (tuple(q.scheme.bits), q.bas, q.memory_bytes, q.macs,
+             tuple(param.data.tobytes() for param in q.model.parameters()))
+            for q in quantized
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_flow.json",
+                        help="where to write the JSON results")
+    parser.add_argument("--workers", type=int, default=WORKERS,
+                        help="process-pool size for the parallel runs")
+    args = parser.parse_args(argv)
+
+    cfg = QUICK if args.quick else FULL
+    train_set, test_set, loss_fn = build_workload(cfg)
+    n_schemes = 8  # 4 quantizable layers, first pinned to 8 bits
+    print(f"workload: {len(cfg['lambdas'])}-lambda NAS sweep + {n_schemes}-scheme "
+          f"QAT exploration, CNN {cfg['conv_channels']}/{cfg['hidden']}, "
+          f"{len(train_set)} train frames, {os.cpu_count()} CPUs")
+
+    cache_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-flow-cache-"))
+    try:
+        cache = ResultCache(cache_dir)
+
+        start = time.perf_counter()
+        serial = run_sweeps(cfg, train_set, test_set, loss_fn, "serial", None, None)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_sweeps(
+            cfg, train_set, test_set, loss_fn, "process", args.workers, cache
+        )
+        parallel_s = time.perf_counter() - start
+        trained = cache.misses
+
+        start = time.perf_counter()
+        cached = run_sweeps(
+            cfg, train_set, test_set, loss_fn, "process", args.workers, cache
+        )
+        cached_s = time.perf_counter() - start
+        replayed = cache.hits
+
+        if signature(*parallel) != signature(*serial):
+            raise SystemExit("SERIAL/PROCESS MISMATCH: sweep results differ")
+        if signature(*cached) != signature(*serial):
+            raise SystemExit("CACHE MISMATCH: replayed sweep results differ")
+        if replayed != trained:
+            raise SystemExit(
+                f"CACHE MISS ON RERUN: {replayed} hits for {trained} stored units"
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    results = {
+        "workload": {
+            "dataset": "linaige-synthetic",
+            "lambdas": list(cfg["lambdas"]),
+            "qat_schemes": n_schemes,
+            "conv_channels": list(cfg["conv_channels"]),
+            "hidden_features": cfg["hidden"],
+            "search": dict(cfg["search"]),
+            "qat_epochs": cfg["qat_epochs"],
+            "train_frames": len(train_set),
+            "quick": bool(args.quick),
+        },
+        "cpus": os.cpu_count(),
+        "workers": args.workers,
+        "task_units": trained,
+        "serial": {"seconds": serial_s},
+        "process": {"seconds": parallel_s},
+        "cached": {"seconds": cached_s},
+        "parallel_speedup": serial_s / parallel_s,
+        "cached_speedup": serial_s / cached_s,
+        "speedup": serial_s / min(parallel_s, cached_s),
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"serial  {serial_s:7.2f}s | process({args.workers}) {parallel_s:7.2f}s "
+          f"({results['parallel_speedup']:4.2f}x) | cached rerun {cached_s:7.2f}s "
+          f"({results['cached_speedup']:5.1f}x)")
+    print(f"parity: OK ({trained} task units bit-identical across serial / "
+          f"process / cache replay)")
+    print(f"wrote {args.out}")
+
+    # The quick CI job only enforces bit-exact parity (checked above) —
+    # tiny workloads on shared runners are too noisy to gate on wall-clock.
+    if not args.quick:
+        failed = False
+        if results["cached_speedup"] < 2.5:
+            print(f"FAIL: cached-rerun speedup {results['cached_speedup']:.2f}x "
+                  "below the 2.5x floor", file=sys.stderr)
+            failed = True
+        cpus = os.cpu_count() or 1
+        if cpus >= 4 and results["parallel_speedup"] < 2.5:
+            print(f"FAIL: process-pool speedup {results['parallel_speedup']:.2f}x "
+                  f"below the 2.5x floor on a {cpus}-CPU host", file=sys.stderr)
+            failed = True
+        elif cpus < 4:
+            print(f"note: {cpus} CPU(s) available — the process-pool speedup is "
+                  "recorded but only enforced on >=4-CPU hosts")
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,21 @@ point and the resulting Pareto front.  The best quantized point is finally
 compiled to the integer golden model through the engine façade to confirm
 its post-lowering accuracy.
 
+Both sweeps run their trials as parallel task units on a process pool
+(``executor="process"``) with an on-disk result cache — re-running this
+example replays the already-trained points bit-identically instead of
+training them again.  Delete the cache directory (or switch to
+``executor="serial"``) to retrain from scratch.
+
 Run with:  python examples/nas_and_quantization.py
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
+
+from repro.parallel import ResultCache
 
 import repro
 from repro.datasets import generate_linaige
@@ -22,6 +33,7 @@ from repro.quant import QATConfig, explore_mixed_precision
 
 
 def main() -> None:
+    cache = ResultCache(Path(tempfile.gettempdir()) / "repro-example-cache")
     dataset = generate_linaige(seed=0, scale=0.12)
     test_session = dataset.session(2)
     train_frames = np.concatenate(
@@ -45,7 +57,8 @@ def main() -> None:
     )
     print("=== Architecture search (PIT, lambda sweep) ===")
     architectures = run_search(
-        seed_builder((32, 32), 32), train_set, test_set, config=search_config, seed=0
+        seed_builder((32, 32), 32), train_set, test_set, config=search_config, seed=0,
+        executor="process", cache=cache,
     )
     for point in architectures:
         print("  " + point.describe())
@@ -62,6 +75,8 @@ def main() -> None:
         test_set,
         config=QATConfig(epochs=3, batch_size=128),
         seed=0,
+        executor="process",
+        cache=cache,
     )
     for point in quantized:
         print("  " + point.describe())

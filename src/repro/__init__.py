@@ -32,12 +32,15 @@ Sub-packages
     Table-I reports.
 ``repro.flow``
     End-to-end flow orchestration, Pareto utilities and the manual baseline.
+``repro.parallel``
+    Executor-based trial parallelism (serial / process pools) and the
+    content-addressed result cache behind ``FlowConfig(executor=...)``.
 """
 
-from . import datasets, deploy, engine, flow, hw, nas, nn, postproc, quant
+from . import datasets, deploy, engine, flow, hw, nas, nn, parallel, postproc, quant
 from .engine import Engine, StreamSession, available_targets, compile, register_target
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "compile",
@@ -54,5 +57,6 @@ __all__ = [
     "hw",
     "deploy",
     "flow",
+    "parallel",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from .backends import (
     MaupitiBackend,
     NumpyFloatBackend,
     Stm32Backend,
+    compile_and_report,
 )
 from .engine import Engine, StreamSession
 from .registry import (
@@ -40,6 +41,7 @@ from .results import BatchPrediction, Prediction, StreamSummary, StreamUpdate
 
 __all__ = [
     "compile",
+    "compile_and_report",
     "Engine",
     "StreamSession",
     "ModelBundle",

@@ -30,7 +30,7 @@ from ..deploy.runtime import (
 )
 from ..deploy.stm32 import Stm32DeploymentModel
 from ..hw.platform import SmartSensorPlatform, ibex_platform, maupiti_platform
-from .registry import EngineError, register_target
+from .registry import EngineError, get_target, register_target
 from .results import BatchPrediction, Prediction
 
 
@@ -71,6 +71,36 @@ class EngineBackend:
         raise EngineError(
             f"target {self.spec.name!r} does not produce deployment reports"
         )
+
+
+# --------------------------------------------------------------------- #
+def compile_and_report(
+    model,
+    target: str,
+    frames: np.ndarray,
+    *,
+    sim_mode: str = "fast",
+    verify: bool = True,
+) -> PlatformReport:
+    """Compile ``model`` for ``target`` and produce its Table-I report.
+
+    One deployment = one compile + (where supported) one batched bit-exact
+    verification against the integer golden model, whose cycle measurements
+    are reused by the report so each frame is simulated exactly once.
+
+    Module-level on purpose: flow stage 4 submits per-target deployments as
+    :mod:`repro.parallel` task units, and process executors need a picklable
+    entry point (pass an ``IntegerNetwork`` so the integer lowering is done
+    once in the parent rather than per worker).
+    """
+    from .api import compile as compile_engine
+
+    opts = {"sim_mode": sim_mode} if get_target(target).supports_sim_mode else {}
+    engine = compile_engine(model, target=target, **opts)
+    measured = None
+    if verify and engine.can_verify:
+        measured = engine.verify(frames)
+    return engine.report(frames, measured=measured)
 
 
 # --------------------------------------------------------------------- #

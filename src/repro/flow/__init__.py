@@ -1,6 +1,6 @@
 """Full-stack optimization flow orchestration (Fig. 1)."""
 
-from .seeds import build_seed_cnn, seed_builder
+from .seeds import SeedBuilder, build_seed_cnn, seed_builder
 from .pareto import (
     ParetoPoint,
     best_at_cost_budget,
@@ -21,6 +21,7 @@ from .pipeline import (
 )
 
 __all__ = [
+    "SeedBuilder",
     "build_seed_cnn",
     "seed_builder",
     "ParetoPoint",

@@ -12,6 +12,14 @@ The :class:`OptimizationFlow` chains the four stages:
    the :mod:`repro.engine` façade, for the deployment targets listed in
    :attr:`FlowConfig.deploy_targets` (Table-I reports per selected model).
 
+Every trainable or simulated unit of the flow (the seed training, each
+per-lambda PIT search, each per-scheme QAT run, each per-target deployment)
+runs as a :mod:`repro.parallel` task unit with an explicitly derived RNG
+stream, so :attr:`FlowConfig.executor` switches the whole flow between a
+serial loop and a process pool with **bit-identical** results, and
+:attr:`FlowConfig.cache_dir` lets repeated runs replay already-trained
+points from the content-addressed result cache.
+
 Also provided are the input pre-processing convention used throughout the
 reproduction (per-frame ambient removal + global standardization fitted on
 training data) and the Table-I model selection rules (Top / -5% / Mini).
@@ -60,6 +68,41 @@ class Preprocessor:
         return self.standardizer(ambient_removal(frames))
 
 
+def _seed_task(payload) -> Tuple[float, float, int]:
+    """Stage-0 task unit: train + measure the seed CNN (the Fig.-5 star).
+
+    Returns ``(bas, memory_bytes, macs)``.  Module-level so the process
+    executor can pickle it; the RNG is rebuilt in the worker from the flow
+    seed, matching the serial path bit-for-bit.
+    """
+    seed_channels, seed_hidden, train_set, test_set, epochs, batch_size, loss_fn, seed = payload
+    from ..nas.cost import count_macs, count_params
+    from ..nn.trainer import TrainConfig, evaluate_bas, train_model
+
+    rng = np.random.default_rng(seed)
+    model = seed_builder(seed_channels, seed_hidden)(rng)
+    train_model(
+        model,
+        train_set,
+        val_set=test_set,
+        config=TrainConfig(epochs=epochs, batch_size=batch_size),
+        loss_fn=loss_fn,
+        rng=rng,
+    )
+    bas = evaluate_bas(model, test_set)
+    return (bas, float(count_params(model)) * 4.0, count_macs(model))
+
+
+def _deploy_task(payload):
+    """Stage-4 task unit: compile one target, verify and report (picklable)."""
+    network, target, frames, sim_mode, verify = payload
+    from ..engine.backends import compile_and_report
+
+    return compile_and_report(
+        network, target, frames, sim_mode=sim_mode, verify=verify
+    )
+
+
 @dataclass
 class FlowConfig:
     """Configuration of one end-to-end flow run.
@@ -85,6 +128,29 @@ class FlowConfig:
     # the trace-compiled vectorized simulator (bit-exact), "interp" the
     # reference interpreter.
     sim_mode: str = "fast"
+    # Task execution: "serial" (reference) or "process" (a
+    # concurrent.futures worker pool of max_workers processes).  Every flow
+    # unit is independently seeded, so both settings — and any worker count —
+    # produce bit-identical results.
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    # Directory of the content-addressed result cache; None disables
+    # caching.  Keys cover the seed, the unit's configuration and the
+    # dataset content, so repeated runs skip already-trained points while
+    # any config/data change forces a re-train.
+    cache_dir: Optional[str] = None
+
+    def replace(self, **changes) -> "FlowConfig":
+        """A modified copy that never shares nested config instances.
+
+        ``dataclasses.replace`` copies only the top level, so two derived
+        FlowConfigs would alias one ``SearchConfig``/``QATConfig`` and a
+        mutation through one copy would leak into the other.  Unless a field
+        is explicitly overridden, the nested configs are re-created here.
+        """
+        changes.setdefault("search", replace(self.search))
+        changes.setdefault("qat", replace(self.qat))
+        return replace(self, **changes)
 
 
 @dataclass
@@ -173,6 +239,9 @@ class FlowResult:
         targets: Sequence[str] = ("stm32", "ibex", "maupiti"),
         verify: bool = True,
         sim_mode: str = "fast",
+        executor=None,
+        max_workers: Optional[int] = None,
+        cache=None,
     ) -> DeploymentReport:
         """Deploy one flow point on every requested engine target.
 
@@ -184,18 +253,36 @@ class FlowResult:
         each frame is simulated only once.  ``sim_mode`` selects the
         simulation engine for targets that support it (``"fast"`` is the
         trace-compiled simulator, ``"interp"`` the reference interpreter).
-        """
-        from ..engine import ModelBundle, get_target
 
-        bundle = ModelBundle(point)  # integer lowering shared across targets
+        The per-target compile+verify runs are independent task units: pass
+        ``executor="process"`` (or an executor instance) to distribute them,
+        and a :class:`repro.parallel.ResultCache` to skip targets already
+        deployed with identical model/frames/options.
+        """
+        from ..engine import ModelBundle
+        from ..parallel import fingerprint, run_tasks
+
+        bundle = ModelBundle(point)
+        network = bundle.require_integer()  # lowered once, shared by targets
+        frames = np.asarray(frames)
+        payloads = [(network, t, frames, sim_mode, verify) for t in targets]
+        keys = None
+        if cache is not None:
+            keys = [
+                fingerprint("deploy", network, target, frames, sim_mode, verify)
+                for target in targets
+            ]
+        entries = run_tasks(
+            _deploy_task,
+            payloads,
+            executor=executor,
+            max_workers=max_workers,
+            cache=cache,
+            keys=keys,
+        )
         report = DeploymentReport(model_label=point.label)
-        for target in targets:
-            opts = {"sim_mode": sim_mode} if get_target(target).supports_sim_mode else {}
-            eng = compile_engine(bundle, target=target, **opts)
-            measured = None
-            if verify and eng.can_verify:
-                measured = eng.verify(frames)
-            report.add(eng.report(frames, measured=measured))
+        for entry in entries:
+            report.add(entry)
         return report
 
 
@@ -251,34 +338,34 @@ class OptimizationFlow:
         seed_hidden: int = 64,
     ) -> FlowResult:
         """Execute the full flow against one held-out session."""
+        from ..parallel import ResultCache, fingerprint, get_executor, run_tasks
+
         cfg = self.config
+        executor = get_executor(cfg.executor, cfg.max_workers)
+        cache = ResultCache(cfg.cache_dir) if cfg.cache_dir else None
         train_set, test_set, test_session, pre = self.prepare_data(
             dataset, test_session_id
         )
         loss_fn = self._loss(train_set.targets)
 
-        # Stage 0: measure the seed itself (the blue star of Fig. 5).
-        from ..nas.cost import count_macs, count_params
-        from ..nn.trainer import TrainConfig, evaluate_bas, train_model
-
-        rng = np.random.default_rng(cfg.seed)
-        seed_model = seed_builder(seed_channels, seed_hidden)(rng)
-        train_model(
-            seed_model,
+        # Stage 0: measure the seed itself (the blue star of Fig. 5) — one
+        # task unit, so it caches and parallelizes like every other stage.
+        seed_payload = (
+            tuple(seed_channels),
+            seed_hidden,
             train_set,
-            val_set=test_set,
-            config=TrainConfig(
-                epochs=cfg.search.finetune_epochs, batch_size=cfg.search.batch_size
-            ),
-            loss_fn=loss_fn,
-            rng=rng,
+            test_set,
+            cfg.search.finetune_epochs,
+            cfg.search.batch_size,
+            loss_fn,
+            cfg.seed,
         )
-        seed_bas = evaluate_bas(seed_model, test_set)
-        seed_point = (
-            seed_bas,
-            float(count_params(seed_model)) * 4.0,
-            count_macs(seed_model),
-        )
+        seed_keys = None
+        if cache is not None:
+            seed_keys = [fingerprint("flow-seed", *seed_payload)]
+        seed_point = run_tasks(
+            _seed_task, [seed_payload], executor=executor, cache=cache, keys=seed_keys
+        )[0]
 
         # Stage 1: architecture search (lambda sweep).
         search_cfg = self._search_config()
@@ -289,6 +376,8 @@ class OptimizationFlow:
             config=search_cfg,
             loss_fn=loss_fn,
             seed=cfg.seed,
+            executor=executor,
+            cache=cache,
         )
 
         # Stage 2: mixed-precision QAT of the Pareto-optimal architectures.
@@ -307,6 +396,8 @@ class OptimizationFlow:
                     loss_fn=loss_fn,
                     seed=cfg.seed,
                     source_label=arch.describe(),
+                    executor=executor,
+                    cache=cache,
                 )
             )
 
@@ -357,6 +448,8 @@ class OptimizationFlow:
                         deploy_frames,
                         targets=cfg.deploy_targets,
                         sim_mode=cfg.sim_mode,
+                        executor=executor,
+                        cache=cache,
                     )
                 result.deployment_reports[label] = deployed[id(point)]
         return result

@@ -10,6 +10,7 @@ the feature extractor therefore produces a 64x4x4 map before flattening.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -69,19 +70,36 @@ def build_seed_cnn(
     return Sequential(*layers)
 
 
+@dataclass(frozen=True)
+class SeedBuilder:
+    """Picklable ``rng -> Sequential`` factory for the search driver.
+
+    A plain closure would do for in-process use, but the parallel executors
+    ship builders to worker processes, so the factory must survive a pickle
+    round-trip (and hash deterministically for the result cache).
+    """
+
+    conv_channels: tuple = (64, 64)
+    hidden_features: int = 64
+    kwargs: tuple = field(default_factory=tuple)  # sorted (key, value) pairs
+
+    def __call__(self, rng: np.random.Generator) -> Sequential:
+        return build_seed_cnn(
+            rng=rng,
+            conv_channels=self.conv_channels,
+            hidden_features=self.hidden_features,
+            **dict(self.kwargs),
+        )
+
+
 def seed_builder(
     conv_channels: Sequence[int] = (64, 64),
     hidden_features: int = 64,
     **kwargs,
-):
+) -> SeedBuilder:
     """Return a callable ``rng -> Sequential`` for the search driver."""
-
-    def build(rng: np.random.Generator) -> Sequential:
-        return build_seed_cnn(
-            rng=rng,
-            conv_channels=conv_channels,
-            hidden_features=hidden_features,
-            **kwargs,
-        )
-
-    return build
+    return SeedBuilder(
+        conv_channels=tuple(conv_channels),
+        hidden_features=hidden_features,
+        kwargs=tuple(sorted(kwargs.items())),
+    )

@@ -6,11 +6,17 @@ produces the accuracy-vs-cost front of Fig. 5 (grey curve).  This module
 implements that sweep: for each strength it trains the searchable model,
 exports the discovered sub-architecture, fine-tunes it and records task
 performance plus exact parameter / MAC counts.
+
+The per-lambda trials are fully independent — each derives its own RNG from
+a spawned :class:`numpy.random.SeedSequence` child — so the sweep runs as a
+batch of task units on a :mod:`repro.parallel` executor (``executor=
+"process"`` distributes trials over a worker pool with bit-identical
+results) with optional result caching keyed by (seed, config, data).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -193,6 +199,24 @@ def search_single_strength(
     )
 
 
+def _search_task(payload) -> ArchitecturePoint:
+    """One sweep trial as a picklable task unit (module-level for pickling).
+
+    ``payload`` is ``(seed_builder, train_set, val_set, strength, config,
+    loss_fn, seed_seq)``; the trial's RNG is derived here, inside the worker,
+    from its explicitly spawned :class:`~numpy.random.SeedSequence` child so
+    results do not depend on which process (or in which order) the trial ran.
+    """
+    builder, train_set, val_set, strength, config, loss_fn, seed_seq = payload
+    rng = np.random.default_rng(seed_seq)
+    point = search_single_strength(
+        builder, train_set, val_set, strength, config, loss_fn, rng
+    )
+    if point.model is not None:
+        point.model.clear_caches()  # ship parameters, not activation buffers
+    return point
+
+
 def run_search(
     seed_builder: Callable[[np.random.Generator], Sequential],
     train_set: ArrayDataset,
@@ -200,21 +224,56 @@ def run_search(
     config: Optional[SearchConfig] = None,
     loss_fn: Optional[CrossEntropyLoss] = None,
     seed: int = 0,
+    executor=None,
+    max_workers: Optional[int] = None,
+    cache=None,
 ) -> List[ArchitecturePoint]:
     """Sweep the regularization strength and return one point per lambda.
 
     Points are returned sorted by increasing parameter count.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"process"`` or a :mod:`repro.parallel`
+        executor instance; per-lambda trials are independent task units, so
+        a process pool yields bit-identical points for any ``max_workers``.
+    cache:
+        Optional :class:`repro.parallel.ResultCache`; trials whose (seed,
+        config, dataset content) key is already stored are not re-trained.
     """
+    from ..parallel import fingerprint, run_tasks
+
     config = config or SearchConfig()
-    points = []
-    root = np.random.SeedSequence(seed)
-    children = root.spawn(len(list(config.lambdas)))
-    for strength, child in zip(config.lambdas, children):
-        rng = np.random.default_rng(child)
-        point = search_single_strength(
-            seed_builder, train_set, val_set, strength, config, loss_fn, rng
-        )
-        if config.verbose:
+    lambdas = list(config.lambdas)
+    children = np.random.SeedSequence(seed).spawn(len(lambdas))
+    payloads = [
+        (seed_builder, train_set, val_set, strength, config, loss_fn, child)
+        for strength, child in zip(lambdas, children)
+    ]
+    keys = None
+    if cache is not None:
+        # Excluded from the per-trial key: `verbose` (cosmetic) and the
+        # `lambdas` tuple itself — a trial depends only on its own strength
+        # and spawned seed child (SeedSequence.spawn is prefix-stable), so
+        # extending the sweep must not invalidate the already-trained points.
+        hashed_config = replace(config, verbose=False, lambdas=())
+        keys = [
+            fingerprint(
+                "nas-search", seed, child, strength, hashed_config,
+                seed_builder, train_set, val_set, loss_fn,
+            )
+            for strength, child in zip(lambdas, children)
+        ]
+    points = run_tasks(
+        _search_task,
+        payloads,
+        executor=executor,
+        max_workers=max_workers,
+        cache=cache,
+        keys=keys,
+    )
+    if config.verbose:
+        for point in points:
             print(point.describe())
-        points.append(point)
     return sorted(points, key=lambda p: p.params)

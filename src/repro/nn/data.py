@@ -38,6 +38,12 @@ class ArrayDataset:
         indices = np.asarray(indices)
         return ArrayDataset(self.inputs[indices], self.targets[indices])
 
+    def cache_fingerprint(self):
+        """Content identity used by :mod:`repro.parallel` result caching:
+        two datasets with equal arrays share cached results, and any change
+        to the data invalidates them."""
+        return ("ArrayDataset", self.inputs, self.targets)
+
 
 class DataLoader:
     """Iterate over a dataset in (optionally shuffled) mini-batches."""

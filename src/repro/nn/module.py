@@ -125,6 +125,25 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def clear_caches(self) -> "Module":
+        """Drop the transient forward/backward tensors.
+
+        Layers stash the last batch's activations for the backward pass
+        (``_cache`` dicts, the ReLU/Dropout ``_mask`` arrays, the Flatten
+        ``_shape``); those buffers dwarf the actual parameters and would
+        otherwise travel with every pickled model (process-pool task
+        results, the on-disk result cache).  Clearing them is always safe:
+        a forward pass repopulates them before any backward reads them.
+        """
+        for m in self.modules():
+            if hasattr(m, "_cache"):
+                m._cache = {}
+            if hasattr(m, "_mask"):
+                m._mask = None
+            if hasattr(m, "_shape"):
+                m._shape = None
+        return self
+
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 

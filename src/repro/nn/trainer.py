@@ -148,4 +148,8 @@ def train_model(
 
     if val_set is not None and history.best_state is not None:
         model.load_state_dict(history.best_state)
+    # Trained models travel across process boundaries (parallel executors)
+    # and into the on-disk result cache; shed the per-batch backward buffers
+    # so they pickle at parameter size rather than activation size.
+    model.clear_caches()
     return history

@@ -1,0 +1,39 @@
+"""`repro.parallel` — executor-based trial parallelism with result caching.
+
+The optimization flow's slow layers are sweeps of independent training runs
+(one PIT search per lambda, one QAT run per precision scheme, one
+compile+verify per deployment target).  This package supplies the two pieces
+that turn those loops into parallel, resumable task units:
+
+* **Executors** (:func:`get_executor`, :class:`SerialExecutor`,
+  :class:`ProcessExecutor`) — where units run.  Each unit carries its own
+  :class:`numpy.random.SeedSequence`-derived RNG, so serial and process
+  execution are bit-identical for any worker count.
+* **Result cache** (:class:`ResultCache`, :func:`fingerprint`) — a
+  content-addressed on-disk store keyed by (seed, config, dataset content),
+  so repeated flow runs skip already-trained points.
+
+Entry points are ``FlowConfig(executor=..., max_workers=..., cache_dir=...)``
+and the ``executor`` / ``cache`` parameters of
+:func:`repro.nas.search.run_search` and
+:func:`repro.quant.mixed.explore_mixed_precision`.
+"""
+
+from .cache import ResultCache, fingerprint
+from .executor import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    run_tasks,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "ProcessExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "fingerprint",
+    "get_executor",
+    "run_tasks",
+]

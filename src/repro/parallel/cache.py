@@ -1,0 +1,204 @@
+"""Content-addressed on-disk result cache for optimization-flow task units.
+
+Every trainable unit of the flow (one PIT search per lambda, one QAT run per
+precision scheme, one seed-model training, one per-target deployment) is a
+pure function of *(derived seed, configuration, data)*.  The cache exploits
+that purity: results are stored under a SHA-256 key computed from the full
+task inputs, so a repeated flow run replays already-trained points from disk
+— bit-identically, since the pickle round-trip of float64/int64 arrays is
+exact — and any change to the seed, the configuration or the dataset content
+changes the key and forces a re-run.
+
+:func:`fingerprint` builds the key.  It hashes by *content*, not identity:
+numpy arrays contribute dtype/shape/bytes, dataclasses their field values,
+``repro.nn`` modules their class structure, scalar hyper-parameters and
+parameter tensors, functions their qualified name plus captured closure
+cells.  Objects may override the traversal with a ``cache_fingerprint()``
+method returning any hashable structure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Tuple
+
+import numpy as np
+
+
+def _iter_module_parts(module) -> Iterator[Any]:
+    """Structural + numerical identity of a ``repro.nn`` Module tree."""
+    from ..nn.module import Module, Parameter
+
+    for name, sub in module.named_modules():
+        yield name
+        yield type(sub).__qualname__
+        for attr in sorted(vars(sub)):
+            if attr.startswith("_") or attr == "training":
+                continue
+            value = vars(sub)[attr]
+            # Modules and Parameters are covered by named_modules /
+            # named_parameters below; here we want plain hyper-parameters
+            # plus non-Parameter buffers (e.g. BatchNorm running stats,
+            # which drive eval-mode inference and BN folding).
+            if isinstance(value, (Module, Parameter, list, tuple)) and not isinstance(
+                value, (str,)
+            ):
+                if isinstance(value, (list, tuple)) and all(
+                    isinstance(v, (int, float, bool, str)) for v in value
+                ):
+                    yield (attr, tuple(value))
+                continue
+            if isinstance(value, np.ndarray):
+                yield attr
+                yield value
+            elif isinstance(value, (int, float, bool, str)) or value is None:
+                yield (attr, value)
+    for name, param in module.named_parameters():
+        yield name
+        yield param.data
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed a canonical byte representation of ``obj`` into the hash."""
+    from ..nn.module import Module, Parameter
+
+    custom = getattr(obj, "cache_fingerprint", None)
+    if custom is not None and callable(custom) and not isinstance(obj, type):
+        h.update(b"custom:")
+        h.update(type(obj).__qualname__.encode())
+        _update(h, custom())
+    elif obj is None:
+        h.update(b"none")
+    elif isinstance(obj, bool):
+        h.update(b"bool:1" if obj else b"bool:0")
+    elif isinstance(obj, int):
+        h.update(b"int:" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"float:" + np.float64(obj).tobytes())
+    elif isinstance(obj, str):
+        h.update(b"str:" + obj.encode())
+    elif isinstance(obj, bytes):
+        h.update(b"bytes:" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(f"ndarray:{arr.dtype.str}:{arr.shape}:".encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.generic):
+        _update(h, obj.item())
+    elif isinstance(obj, np.random.SeedSequence):
+        h.update(b"seedseq:")
+        _update(h, (obj.entropy, tuple(obj.spawn_key), obj.pool_size))
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"seq:{len(obj)}:".encode())
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(f"set:{len(obj)}:".encode())
+        for digest in sorted(fingerprint(item) for item in obj):
+            h.update(digest.encode())
+    elif isinstance(obj, dict):
+        h.update(f"dict:{len(obj)}:".encode())
+        entries = sorted((fingerprint(k), v) for k, v in obj.items())
+        for key_digest, value in entries:
+            h.update(key_digest.encode())
+            _update(h, value)
+    elif isinstance(obj, Parameter):
+        h.update(b"parameter:")
+        _update(h, obj.data)
+    elif isinstance(obj, Module):
+        h.update(b"module:")
+        for part in _iter_module_parts(obj):
+            _update(h, part)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"dataclass:" + type(obj).__qualname__.encode())
+        for field in dataclasses.fields(obj):
+            h.update(field.name.encode())
+            _update(h, getattr(obj, field.name))
+    elif callable(obj) and hasattr(obj, "__qualname__"):
+        # Functions / callables: identity by qualified name, captured closure
+        # cells and default arguments, so two differently-configured builders
+        # never collide on the same key.
+        h.update(b"callable:")
+        _update(h, (getattr(obj, "__module__", ""), obj.__qualname__))
+        for cell in getattr(obj, "__closure__", None) or ():
+            _update(h, cell.cell_contents)
+        _update(h, getattr(obj, "__defaults__", None))
+    else:
+        # Generic object: class plus public attribute contents.
+        h.update(b"object:" + type(obj).__qualname__.encode())
+        state = getattr(obj, "__dict__", None)
+        if state:
+            _update(h, {k: v for k, v in state.items() if not k.startswith("_")})
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical content of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        _update(h, part)
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Pickle-backed on-disk store addressed by :func:`fingerprint` keys.
+
+    Writes are atomic (temp file + rename) so concurrent workers or an
+    interrupted run never leave a truncated entry behind; a corrupt or
+    unreadable entry is treated as a miss and overwritten.
+    """
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; counts the lookup in hits/misses."""
+        path = self.path(key)
+        if path.is_file():
+            try:
+                with path.open("rb") as fh:
+                    value = pickle.load(fh)
+            except Exception:
+                path.unlink(missing_ok=True)
+            else:
+                self.hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def clear(self) -> None:
+        for entry in self.root.glob("*.pkl"):
+            entry.unlink(missing_ok=True)
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,131 @@
+"""Pluggable task executors for the optimization flow.
+
+The flow's trainable units (per-lambda PIT searches, per-scheme QAT runs,
+per-target deployments) are embarrassingly parallel: each unit derives its
+own RNG stream from an explicitly spawned :class:`numpy.random.SeedSequence`
+child and shares nothing with its siblings.  Executors only decide *where*
+the units run:
+
+* :class:`SerialExecutor` — in-process ``for`` loop (the reference),
+* :class:`ProcessExecutor` — a ``concurrent.futures.ProcessPoolExecutor``
+  worker pool.
+
+Because every unit is seeded independently and results are gathered in
+submission order, both executors produce **bit-identical** outputs for any
+worker count (enforced by ``tests/test_parallel_flow.py``).
+
+Task functions must be module-level (picklable) and their payloads must
+survive a pickle round-trip; see the README's troubleshooting note for the
+usual offenders (lambdas, locally-defined cost models, open file handles).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from .cache import ResultCache
+
+EXECUTORS = ("serial", "process")
+
+
+class SerialExecutor:
+    """Run every task unit in the calling process, in submission order."""
+
+    name = "serial"
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        return [fn(payload) for payload in payloads]
+
+
+class ProcessExecutor:
+    """Run task units on a ``ProcessPoolExecutor`` worker pool.
+
+    ``max_workers`` defaults to the machine's CPU count.  Results come back
+    in submission order regardless of completion order, so swapping this in
+    for :class:`SerialExecutor` never reorders (or otherwise changes) the
+    output.  Worker exceptions propagate to the caller.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        workers = min(self.max_workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, payloads))
+
+
+ExecutorLike = Union[str, SerialExecutor, ProcessExecutor]
+
+
+def get_executor(
+    executor: Optional[ExecutorLike] = None, max_workers: Optional[int] = None
+) -> Union[SerialExecutor, ProcessExecutor]:
+    """Resolve an executor name (or pass an instance through).
+
+    ``executor`` may be ``"serial"``, ``"process"``, ``None`` (serial) or an
+    object already exposing ``run(fn, payloads)``.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if not isinstance(executor, str):
+        if not callable(getattr(executor, "run", None)):
+            raise TypeError(
+                f"executor must be a name or expose run(fn, payloads); got "
+                f"{type(executor).__name__}"
+            )
+        return executor
+    name = executor.lower()
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
+    )
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    executor: Optional[ExecutorLike] = None,
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    keys: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """Run ``fn`` over ``payloads``, consulting the result cache first.
+
+    Cached entries are returned as-is; only the misses are submitted to the
+    executor, and their results are written back under the corresponding
+    ``keys``.  The returned list always follows the payload order.
+    """
+    payloads = list(payloads)
+    executor = get_executor(executor, max_workers)
+    if cache is None or keys is None:
+        return executor.run(fn, payloads)
+    if len(keys) != len(payloads):
+        raise ValueError(f"{len(keys)} keys for {len(payloads)} payloads")
+
+    results: List[Any] = [None] * len(payloads)
+    pending: List[int] = []
+    for i, key in enumerate(keys):
+        hit, value = cache.get(key)
+        if hit:
+            results[i] = value
+        else:
+            pending.append(i)
+    if pending:
+        fresh = executor.run(fn, [payloads[i] for i in pending])
+        for i, value in zip(pending, fresh):
+            cache.put(keys[i], value)
+            results[i] = value
+    return results

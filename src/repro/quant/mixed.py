@@ -7,11 +7,16 @@ to 8 bits (quantizing the sensor input at 4 bits destroys accuracy) a 4-layer
 network has 2^3 = 8 candidate schemes, so the paper simply trains all of
 them with QAT and keeps the Pareto-optimal ones.  This module implements that
 exhaustive exploration.
+
+Each (architecture, scheme) QAT run is an independent task unit with its own
+spawned :class:`numpy.random.SeedSequence` child, so the exploration runs on
+a :mod:`repro.parallel` executor (``executor="process"`` gives bit-identical
+points for any worker count) with optional result caching.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -89,6 +94,39 @@ def qat_finetune(
     return evaluate_bas(qmodel, val_set)
 
 
+def _qat_task(payload) -> QuantizedPoint:
+    """One (architecture, scheme) QAT run as a picklable task unit.
+
+    ``payload`` is ``(fp_model, scheme, train_set, val_set, config, loss_fn,
+    seed_seq, source_label)``; the RNG is derived in the worker from the
+    trial's spawned seed child, so process-pool and serial execution agree
+    bit-for-bit.
+    """
+    fp_model, scheme, train_set, val_set, config, loss_fn, seed_seq, label = payload
+    rng = np.random.default_rng(seed_seq)
+    calibration = train_set.inputs[: config.calibration_samples]
+    qmodel = quantize_model(
+        fp_model, scheme, calibration_data=calibration, input_bits=config.input_bits
+    )
+    bas = qat_finetune(qmodel, train_set, val_set, config, loss_fn, rng)
+    params = sum(
+        layer.conv.weight.size + layer.conv.bias.size
+        if hasattr(layer, "conv")
+        else layer.linear.weight.size + layer.linear.bias.size
+        for layer in qmodel.quant_layers()
+    )
+    qmodel.clear_caches()  # ship parameters, not activation buffers
+    return QuantizedPoint(
+        scheme=scheme,
+        bas=bas,
+        memory_bytes=qmodel.weights_bytes(),
+        macs=qmodel.macs(),
+        params=int(params),
+        model=qmodel,
+        source_label=label,
+    )
+
+
 def explore_mixed_precision(
     fp_model: Sequential,
     train_set: ArrayDataset,
@@ -98,6 +136,9 @@ def explore_mixed_precision(
     loss_fn: Optional[CrossEntropyLoss] = None,
     seed: int = 0,
     source_label: str = "",
+    executor=None,
+    max_workers: Optional[int] = None,
+    cache=None,
 ) -> List[QuantizedPoint]:
     """Run QAT for every candidate precision scheme of ``fp_model``.
 
@@ -111,42 +152,50 @@ def explore_mixed_precision(
     source_label:
         Free-form tag recorded on every point (used to trace which NAS
         architecture a quantized point derives from).
+    executor:
+        ``"serial"`` (default), ``"process"`` or a :mod:`repro.parallel`
+        executor instance; per-scheme QAT runs are independent task units.
+    cache:
+        Optional :class:`repro.parallel.ResultCache`; schemes whose (seed,
+        config, model weights, dataset content) key is stored are replayed
+        from disk instead of re-trained.
 
     Returns
     -------
     One :class:`QuantizedPoint` per scheme, sorted by memory footprint.
     """
+    from ..parallel import fingerprint, run_tasks
+
     config = config or QATConfig()
     num_layers = count_quantizable_layers(fp_model)
     if schemes is None:
         schemes = enumerate_schemes(num_layers, first_layer_bits=8)
-    root = np.random.SeedSequence(seed)
-    children = root.spawn(len(list(schemes)))
+    schemes = list(schemes)
+    children = np.random.SeedSequence(seed).spawn(len(schemes))
 
-    calibration = train_set.inputs[: config.calibration_samples]
-    points: List[QuantizedPoint] = []
-    for scheme, child in zip(schemes, children):
-        rng = np.random.default_rng(child)
-        qmodel = quantize_model(
-            fp_model, scheme, calibration_data=calibration, input_bits=config.input_bits
-        )
-        bas = qat_finetune(qmodel, train_set, val_set, config, loss_fn, rng)
-        params = sum(
-            layer.conv.weight.size + layer.conv.bias.size
-            if hasattr(layer, "conv")
-            else layer.linear.weight.size + layer.linear.bias.size
-            for layer in qmodel.quant_layers()
-        )
-        point = QuantizedPoint(
-            scheme=scheme,
-            bas=bas,
-            memory_bytes=qmodel.weights_bytes(),
-            macs=qmodel.macs(),
-            params=int(params),
-            model=qmodel,
-            source_label=source_label,
-        )
-        if config.verbose:
+    payloads = [
+        (fp_model, scheme, train_set, val_set, config, loss_fn, child, source_label)
+        for scheme, child in zip(schemes, children)
+    ]
+    keys = None
+    if cache is not None:
+        hashed_config = replace(config, verbose=False)  # cosmetic knobs excluded
+        keys = [
+            fingerprint(
+                "qat-explore", seed, child, tuple(scheme.bits), hashed_config,
+                fp_model, train_set, val_set, loss_fn, source_label,
+            )
+            for scheme, child in zip(schemes, children)
+        ]
+    points = run_tasks(
+        _qat_task,
+        payloads,
+        executor=executor,
+        max_workers=max_workers,
+        cache=cache,
+        keys=keys,
+    )
+    if config.verbose:
+        for point in points:
             print(point.describe())
-        points.append(point)
     return sorted(points, key=lambda p: p.memory_bytes)

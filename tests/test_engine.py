@@ -198,6 +198,102 @@ class TestStreaming:
         assert summary.voted_predictions[0] == summary.raw_predictions[0]
 
 
+class _ScriptedBackend:
+    """Minimal stream backend replaying a fixed prediction sequence.
+
+    StreamSession only needs ``predict_frame`` (and optionally ``prepare``),
+    so edge cases of the majority FIFO can be driven without a model.
+    """
+
+    def __init__(self, script):
+        from repro.engine import Prediction
+
+        self._script = [Prediction(prediction=int(p)) for p in script]
+        self._index = 0
+        self.prepared = 0
+
+    def prepare(self):
+        self.prepared += 1
+
+    def predict_frame(self, frame):
+        result = self._script[self._index]
+        self._index += 1
+        return result
+
+
+class TestStreamingFifoEdgeCases:
+    """Majority-FIFO corners: short/long windows, ties, session resets."""
+
+    def _run(self, script, window, sessions=1):
+        from repro.engine import StreamSession
+
+        backend = _ScriptedBackend(script)
+        session = StreamSession(backend, window=window)
+        frame = np.zeros((1, 8, 8))
+        outputs = []
+        per_session = len(script) // sessions
+        for _ in range(sessions):
+            with session:
+                outputs.append(
+                    [session.push(frame).voted for _ in range(per_session)]
+                )
+        return session, outputs
+
+    def test_window_one_passes_raw_through(self):
+        script = [0, 1, 2, 3, 2, 1, 0]
+        session, (voted,) = self._run(script, window=1)
+        assert voted == script
+        np.testing.assert_array_equal(session.summary().raw_predictions, script)
+
+    def test_window_shorter_than_session_smooths_glitches(self):
+        # A single-frame glitch (the lone 0) is voted away by a 3-window.
+        script = [1, 1, 0, 1, 1, 2, 2, 2]
+        _, (voted,) = self._run(script, window=3)
+        assert voted == [1, 1, 1, 1, 1, 1, 2, 2]
+        np.testing.assert_array_equal(
+            voted, majority_filter(script, window=3)
+        )
+
+    def test_window_longer_than_session_votes_over_growing_prefix(self):
+        # Until the FIFO fills, the vote covers everything seen so far; a
+        # window far longer than the session never indexes stale slots.
+        script = [2, 0, 0, 1]
+        _, (voted,) = self._run(script, window=50)
+        assert voted == [2, 0, 0, 0]
+        np.testing.assert_array_equal(voted, majority_filter(script, window=50))
+
+    def test_ties_break_to_most_recent_prediction(self):
+        # Window 2 forces a tie on every change of prediction.
+        _, (voted,) = self._run([0, 1, 0, 1], window=2)
+        assert voted == [0, 1, 0, 1]
+        # Three-way tie inside a window of 4, then a real majority.
+        _, (voted,) = self._run([1, 0, 2, 0, 0], window=4)
+        assert voted == [1, 0, 2, 0, 0]
+
+    def test_session_boundary_reset_clears_fifo_and_stats(self):
+        # Session 1 fills the FIFO with 2s; after the boundary the old
+        # majority must not leak into session 2's first votes.
+        session, outputs = self._run([2, 2, 2, 0, 1, 0], window=5, sessions=2)
+        assert outputs[0] == [2, 2, 2]
+        assert outputs[1] == [0, 1, 0]  # [0,1] ties to the recent 1
+        summary = session.summary()
+        assert summary.raw_predictions.tolist() == [0, 1, 0]  # session 2 only
+        assert len(session) == 3
+
+    def test_reset_midstream_via_reentry_is_idempotent(self):
+        # Entering twice in a row without pushing must leave a clean FIFO.
+        from repro.engine import StreamSession
+
+        backend = _ScriptedBackend([3, 3])
+        session = StreamSession(backend, window=4)
+        with session:
+            pass
+        with session:
+            update = session.push(np.zeros((1, 8, 8)))
+        assert update.voted == 3 and backend.prepared == 2
+        assert session.summary().voted_predictions.tolist() == [3]
+
+
 class TestReports:
     def test_simulated_report_matches_legacy_shim(self, integer_network, prepared_data):
         from repro.deploy import report_on_simulated_platform

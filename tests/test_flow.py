@@ -158,6 +158,24 @@ class TestBaselineAndPipeline:
         assert shared.lambdas == original_lambdas
         assert shared.cost == original_cost
 
+    def test_flow_config_replace_copies_nested_configs(self):
+        """Regression: `dataclasses.replace` on a FlowConfig aliased the
+        nested SearchConfig/QATConfig, so a mutation through one derived
+        copy leaked into every other.  `FlowConfig.replace` re-creates the
+        nested configs unless they are explicitly overridden."""
+        base = FlowConfig()
+        derived = base.replace(seed=1)
+        assert derived.seed == 1
+        assert derived.search is not base.search
+        assert derived.qat is not base.qat
+        derived.search.search_epochs = 999
+        derived.qat.epochs = 999
+        assert base.search.search_epochs == SearchConfig().search_epochs
+        assert base.qat.epochs == QATConfig().epochs
+        # An explicitly passed nested config is honoured as-is.
+        shared = SearchConfig(search_epochs=3)
+        assert FlowConfig().replace(search=shared).search is shared
+
     def test_full_pipeline_smoke(self, tiny_dataset):
         """End-to-end flow on a tiny budget: NAS -> QAT -> majority voting,
         plus the stage-4 engine deployment of the Table-I selection."""

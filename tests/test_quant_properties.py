@@ -1,0 +1,185 @@
+"""Randomized property tests for the quantization layer.
+
+Complements the example-based checks in ``test_quant.py`` with properties
+that must hold over *arbitrary* seeded random tensors:
+
+* INT4/INT8 symmetric quantize→dequantize round-trips stay within half a
+  quantization step and never leave the representable signed range;
+* the fake-quant grids are idempotent (requantizing a dequantized tensor is
+  exact) and monotonic;
+* the integer requantization pipeline (fixed-point multiply + rounding
+  shift) is monotonically non-decreasing in the accumulator and tracks the
+  real multiplier within the precision implied by its bit width.
+
+The tensors are drawn through ``numpy.random.default_rng`` generators seeded
+by hypothesis, so every failure is replayable from the printed example.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.fake_quant import (
+    InputQuantizer,
+    PactActivationQuantizer,
+    dequantize,
+    quantize_symmetric,
+    signed_weight_levels,
+)
+from repro.quant.integer import quantize_multiplier, round_shift
+
+BITS = st.sampled_from([4, 8])
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+SCALES = st.floats(min_value=1e-3, max_value=1e3)
+
+
+def _tensor(seed: int, scale: float, size: int = 257) -> np.ndarray:
+    """A reproducible random tensor with both tails and near-zero mass."""
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [rng.normal(0.0, scale, size), rng.uniform(-scale, scale, size), [0.0]]
+    )
+
+
+class TestSymmetricWeightRoundTrip:
+    @given(seed=SEEDS, bits=BITS, scale=SCALES)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_error_within_half_step(self, seed, bits, scale):
+        x = _tensor(seed, scale)
+        q, qscale = quantize_symmetric(x, bits)
+        levels = signed_weight_levels(bits)
+        assert q.dtype == np.int64
+        assert np.abs(q).max() <= levels
+        # The scale is range-based, so no value saturates and the rounding
+        # error is bounded by half a step everywhere.
+        err = np.abs(dequantize(q, qscale) - x)
+        assert err.max() <= qscale / 2 + 1e-12
+        # Relative to the tensor's own range: 4 bits has 7 positive levels.
+        assert err.max() <= np.abs(x).max() / (2 * levels) + 1e-12
+
+    @given(seed=SEEDS, bits=BITS, scale=SCALES)
+    @settings(max_examples=60, deadline=None)
+    def test_requantization_is_idempotent(self, seed, bits, scale):
+        x = _tensor(seed, scale)
+        q, qscale = quantize_symmetric(x, bits)
+        # Quantizing the dequantized tensor on the same grid changes nothing.
+        q2, _ = quantize_symmetric(dequantize(q, qscale), bits, scale=qscale)
+        np.testing.assert_array_equal(q, q2)
+
+    @given(seed=SEEDS, bits=BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_is_monotonic(self, seed, bits):
+        x = np.sort(_tensor(seed, 1.0))
+        q, _ = quantize_symmetric(x, bits)
+        assert (np.diff(q) >= 0).all()
+
+    def test_all_zero_tensor_is_stable(self):
+        q, scale = quantize_symmetric(np.zeros(16), 4)
+        assert scale == 1.0 and not q.any()
+
+
+class TestActivationQuantizers:
+    @given(seed=SEEDS, bits=BITS, alpha=st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_pact_round_trip_and_range(self, seed, bits, alpha):
+        quant = PactActivationQuantizer(bits, alpha_init=alpha)
+        x = _tensor(seed, alpha)
+        out = quant(x)
+        scale = quant.scale
+        assert out.min() >= 0.0 and out.max() <= alpha + 1e-12
+        # Outputs live exactly on the integer grid...
+        np.testing.assert_allclose(out / scale, np.round(out / scale), atol=1e-9)
+        # ...and inside the clipping range the error is at most half a step.
+        interior = (x > 0) & (x < alpha)
+        assert (np.abs(out - x)[interior] <= scale / 2 + 1e-12).all()
+        # quantize_to_int agrees with the fake-quant forward.
+        np.testing.assert_allclose(out, quant.quantize_to_int(x) * scale, atol=1e-9)
+
+    @given(seed=SEEDS, bits=BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_pact_is_monotonic(self, seed, bits):
+        quant = PactActivationQuantizer(bits, alpha_init=3.0)
+        x = np.sort(_tensor(seed, 3.0))
+        assert (np.diff(quant(x)) >= -1e-12).all()
+        assert (np.diff(quant.quantize_to_int(x)) >= 0).all()
+
+    @given(seed=SEEDS, bits=BITS, scale=SCALES)
+    @settings(max_examples=60, deadline=None)
+    def test_input_quantizer_round_trip_inside_calibrated_range(
+        self, seed, bits, scale
+    ):
+        x = _tensor(seed, scale)
+        quant = InputQuantizer(bits).calibrate(x)
+        out = quant(x)
+        # Calibration covers the whole tensor, so every value round-trips
+        # within half a step of the affine grid.
+        assert np.abs(out - x).max() <= quant.scale / 2 + 1e-12
+        ints = quant.quantize_to_int(x)
+        assert ints.min() >= -(2 ** (bits - 1)) and ints.max() <= 2 ** (bits - 1) - 1
+        np.testing.assert_allclose(
+            out, (ints - quant.zero_point) * quant.scale, atol=1e-9
+        )
+
+    @given(seed=SEEDS, bits=BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_input_quantizer_is_monotonic_and_clips_outliers(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        calib = rng.normal(0, 1, 64)
+        quant = InputQuantizer(bits).calibrate(calib)
+        x = np.sort(rng.normal(0, 5, 301))  # deliberately exceeds the range
+        assert (np.diff(quant.quantize_to_int(x)) >= 0).all()
+        out = quant(x)
+        assert (np.diff(out) >= -1e-12).all()
+        qmin = -(2 ** (bits - 1))
+        qmax = 2 ** (bits - 1) - 1
+        assert out.min() >= (qmin - quant.zero_point) * quant.scale - 1e-9
+        assert out.max() <= (qmax - quant.zero_point) * quant.scale + 1e-9
+
+
+class TestIntegerRequantization:
+    @given(
+        seed=SEEDS,
+        multiplier=st.floats(min_value=1e-6, max_value=0.999),
+        bits=st.integers(min_value=2, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_requantization_is_monotonic(self, seed, multiplier, bits):
+        """clamp(round_shift(acc * m, s)) never decreases when acc grows."""
+        m, shift = quantize_multiplier(multiplier, bits=bits)
+        rng = np.random.default_rng(seed)
+        acc = np.sort(rng.integers(0, 2**20, size=400))
+        out = round_shift(acc * m, shift)
+        assert (np.diff(out) >= 0).all()
+        clipped = np.clip(out, 0, 127)
+        assert (np.diff(clipped) >= 0).all()
+
+    @given(
+        multiplier=st.floats(min_value=1e-6, max_value=0.999),
+        bits=st.integers(min_value=2, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fixed_point_multiplier_accuracy(self, multiplier, bits):
+        m, shift = quantize_multiplier(multiplier, bits=bits)
+        assert 0 < m < 2**bits
+        approx = m * 2.0**-shift
+        # One unit in the last place of an m with `bits` significant bits.
+        assert abs(approx - multiplier) <= multiplier * 2.0 ** -(bits - 1)
+
+    @given(seed=SEEDS, shift=st.integers(min_value=1, max_value=31))
+    @settings(max_examples=60, deadline=None)
+    def test_round_shift_rounds_to_nearest(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        value = rng.integers(0, 2**40, size=300)
+        out = round_shift(value, shift)
+        # Round-to-nearest: at most half a unit from the exact quotient.
+        assert np.abs(out - value / 2.0**shift).max() <= 0.5 + 1e-9
+
+    def test_round_shift_negative_shift_is_left_shift(self):
+        np.testing.assert_array_equal(round_shift(np.array([3]), -2), [12])
+
+    def test_quantize_multiplier_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quantize_multiplier(0.0)
+        with pytest.raises(ValueError):
+            quantize_multiplier(-1.5)
