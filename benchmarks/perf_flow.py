@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.datasets import generate_linaige
 from repro.flow import Preprocessor, seed_builder
+from repro.serve import describe_host
 from repro.nas.search import SearchConfig, run_search
 from repro.nn import ArrayDataset
 from repro.nn.losses import CrossEntropyLoss, balanced_class_weights
@@ -201,6 +202,7 @@ def main(argv=None) -> int:
             "train_frames": len(train_set),
             "quick": bool(args.quick),
         },
+        "host": describe_host(),
         "cpus": os.cpu_count(),
         "workers": args.workers,
         "task_units": trained,

@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Batched vs unbatched load benchmark of the serving subsystem.
+
+Starts the in-process :mod:`repro.serve` HTTP server over an ``int-golden``
+engine (a Table-I-class INT 8-4-4-8 CNN) and replays held-out LINAIGE
+frames from many concurrent simulated sensors, twice:
+
+1. ``unbatched`` — ``max_batch=1``: every frame is its own
+   ``Engine.predict_batch`` call (the reference serve path);
+2. ``batched``   — cross-session micro-batching on (``max_batch=32``):
+   frames arriving within the batching window coalesce into single engine
+   calls.
+
+Before any timing is trusted, every session's served outputs (raw AND
+majority-voted) are asserted **bit-identical** to an independent offline
+``Engine.stream`` replay of the same frames — under both server configs.
+Then the results are written as machine-readable JSON (``BENCH_serve.json``
+at the repository root by default): sustained concurrent sessions,
+throughput per mode, request latency p50/p99, mean micro-batch size, and
+the batched/unbatched speedup (enforced at >=2x in full runs).
+
+CI runs ``perf_serve.py --quick`` as a smoke job: 4 sessions, bit-exact
+parity vs offline streams, ``/healthz`` + ``/metrics`` checks and a clean
+shutdown — no wall-clock gating (shared runners are too noisy).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_serve.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+
+import numpy as np
+
+import repro
+from repro.datasets import generate_linaige
+from repro.engine import ModelBundle
+from repro.flow import Preprocessor, build_seed_cnn
+from repro.quant import PrecisionScheme, quantize_model
+from repro.serve import ServeClient, ServeConfig, describe_host, start_server
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# The fleet workload: a Table-I-class mixed-precision CNN served to many
+# concurrent sensor sessions streaming held-out LINAIGE frames in chunks.
+FULL = dict(
+    conv_channels=(12, 16), hidden_features=24, scale=0.05,
+    sessions=8, frames_per_session=64, chunk=8, window=5,
+)
+QUICK = dict(
+    conv_channels=(6, 7), hidden_features=10, scale=0.03,
+    sessions=4, frames_per_session=16, chunk=4, window=5,
+)
+SCHEME = (8, 4, 4, 8)
+
+UNBATCHED = dict(max_batch=1, max_wait_ms=0.0)
+BATCHED = dict(max_batch=32, max_wait_ms=2.0)
+
+
+def build_workload(cfg):
+    rng = np.random.default_rng(0)
+    dataset = generate_linaige(seed=0, scale=cfg["scale"])
+    train = np.concatenate(
+        [s.frames for s in dataset.sessions if s.session_id != 2]
+    )
+    pre = Preprocessor.fit(train)
+    model = build_seed_cnn(
+        rng,
+        conv_channels=cfg["conv_channels"],
+        hidden_features=cfg["hidden_features"],
+    )
+    qmodel = quantize_model(
+        model, PrecisionScheme(SCHEME), calibration_data=pre(train)[:256]
+    )
+    held_out = pre(dataset.session(2).frames)
+    need = cfg["sessions"] * cfg["frames_per_session"]
+    if len(held_out) < need:  # tile the session to feed every sensor
+        held_out = np.concatenate([held_out] * (need // len(held_out) + 1))
+    streams = [
+        held_out[i * cfg["frames_per_session"] : (i + 1) * cfg["frames_per_session"]]
+        for i in range(cfg["sessions"])
+    ]
+    return ModelBundle(qmodel, label="perf-serve workload"), streams
+
+
+def offline_reference(engine, streams, window):
+    """Independent ``Engine.stream`` replay of every sensor's frames."""
+    reference = []
+    for frames in streams:
+        with engine.stream(window=window) as session:
+            for frame in frames:
+                session.push(frame)
+            summary = session.summary()
+        reference.append(
+            (summary.raw_predictions.tolist(), summary.voted_predictions.tolist())
+        )
+    return reference
+
+
+def run_serve(engine, streams, cfg, serve_knobs):
+    """One server run: all sessions stream concurrently; returns timings."""
+    config = ServeConfig(**serve_knobs)
+    outputs = [None] * len(streams)
+    errors = []
+    barrier = threading.Barrier(len(streams) + 1, timeout=120)
+
+    def sensor(idx):
+        try:
+            with ServeClient(server.host, server.port, timeout=120) as client:
+                sid = client.open_session(window=cfg["window"])["session_id"]
+                barrier.wait()  # all sensors start streaming together
+                raw, voted = [], []
+                frames = streams[idx]
+                for i in range(0, len(frames), cfg["chunk"]):
+                    out = client.push(sid, frames[i : i + cfg["chunk"]])
+                    raw.extend(r["raw"] for r in out["results"])
+                    voted.extend(r["voted"] for r in out["results"])
+                client.close_session(sid)
+                outputs[idx] = (raw, voted)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append((idx, exc))
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    with start_server(engine, config=config) as server:
+        with ServeClient(server.host, server.port) as probe:
+            health = probe.healthz()
+            if health["status"] != "ok":
+                raise SystemExit(f"healthz not ok: {health}")
+            threads = [
+                threading.Thread(target=sensor, args=(i,)) for i in range(len(streams))
+            ]
+            for t in threads:
+                t.start()
+            # Every sensor has opened its session and is parked at the
+            # barrier: this is the sustained concurrency level.
+            deadline = time.time() + 60
+            while probe.healthz()["active_sessions"] < len(streams):
+                if time.time() > deadline:
+                    raise SystemExit("sensors failed to open their sessions")
+                time.sleep(0.01)
+            concurrent = probe.healthz()["active_sessions"]
+            barrier.wait()
+            start = time.perf_counter()
+            for t in threads:
+                t.join(timeout=600)
+            elapsed = time.perf_counter() - start
+            if errors:
+                raise SystemExit(f"sensor failures: {errors!r}")
+            metrics_text = probe.metrics()
+        service = server.service
+        quantiles = service.metrics.latency_quantiles((0.5, 0.99))
+        mean_batch = service.metrics.mean_batch_size()
+        frames_total = service.metrics.counter("frames_total")
+        batches_total = service.metrics.counter("batches_total")
+    n_frames = sum(len(s) for s in streams)
+    if frames_total != n_frames:
+        raise SystemExit(
+            f"frame accounting mismatch: served {frames_total}, sent {n_frames}"
+        )
+    if "repro_serve_requests_total" not in metrics_text:
+        raise SystemExit("/metrics payload is missing the request counters")
+    return {
+        "outputs": outputs,
+        "stats": {
+            "max_batch": serve_knobs["max_batch"],
+            "max_wait_ms": serve_knobs["max_wait_ms"],
+            "concurrent_sessions": concurrent,
+            "seconds": elapsed,
+            "frames_per_sec": n_frames / elapsed,
+            "latency_p50_ms": quantiles[0.5] * 1e3,
+            "latency_p99_ms": quantiles[0.99] * 1e3,
+            "mean_batch_size": mean_batch,
+            "batches": batches_total,
+        },
+    }
+
+
+def check_parity(label, outputs, reference):
+    for idx, (served, offline) in enumerate(zip(outputs, reference)):
+        if served[0] != offline[0]:
+            raise SystemExit(f"{label}: session {idx} raw predictions diverge")
+        if served[1] != offline[1]:
+            raise SystemExit(f"{label}: session {idx} voted predictions diverge")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_serve.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+
+    cfg = QUICK if args.quick else FULL
+    bundle, streams = build_workload(cfg)
+    engine = repro.compile(bundle, target="int-golden")
+    n_frames = sum(len(s) for s in streams)
+    print(f"workload: {cfg['sessions']} concurrent sessions x "
+          f"{cfg['frames_per_session']} frames (chunks of {cfg['chunk']}), "
+          f"CNN {cfg['conv_channels']}/{cfg['hidden_features']} "
+          f"INT{'-'.join(map(str, SCHEME))}, window {cfg['window']}")
+
+    reference = offline_reference(engine, streams, cfg["window"])
+
+    unbatched = run_serve(engine, streams, cfg, UNBATCHED)
+    check_parity("unbatched", unbatched["outputs"], reference)
+    batched = run_serve(engine, streams, cfg, BATCHED)
+    check_parity("batched", batched["outputs"], reference)
+
+    speedup = (
+        batched["stats"]["frames_per_sec"] / unbatched["stats"]["frames_per_sec"]
+    )
+    results = {
+        "workload": {
+            "dataset": "linaige-synthetic",
+            "conv_channels": list(cfg["conv_channels"]),
+            "hidden_features": cfg["hidden_features"],
+            "scheme": list(SCHEME),
+            "target": "int-golden",
+            "sessions": cfg["sessions"],
+            "frames_per_session": cfg["frames_per_session"],
+            "frames_total": n_frames,
+            "chunk": cfg["chunk"],
+            "majority_window": cfg["window"],
+            "quick": bool(args.quick),
+        },
+        "host": describe_host(),
+        "unbatched": unbatched["stats"],
+        "batched": batched["stats"],
+        "batched_speedup": speedup,
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    for label, run in (("unbatched", unbatched), ("batched", batched)):
+        s = run["stats"]
+        print(f"{label:<9} {s['frames_per_sec']:8.1f} frames/s | "
+              f"p50 {s['latency_p50_ms']:6.2f}ms p99 {s['latency_p99_ms']:6.2f}ms | "
+              f"mean batch {s['mean_batch_size']:5.2f}")
+    print(f"parity: OK ({cfg['sessions']} sessions bit-identical to offline "
+          f"Engine.stream replays in both modes)")
+    print(f"batched speedup {speedup:.2f}x")
+    print(f"wrote {args.out}")
+
+    # The quick CI job only enforces parity + endpoint health (all checked
+    # above) — tiny workloads on shared runners are too noisy to gate on
+    # wall-clock.  The full run enforces the 2x acceptance bar.
+    if not args.quick and speedup < 2.0:
+        print(f"FAIL: batched speedup {speedup:.2f}x below the 2x floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ from repro.datasets import generate_linaige
 from repro.engine import ModelBundle
 from repro.flow import Preprocessor, build_seed_cnn
 from repro.quant import PrecisionScheme, quantize_model
+from repro.serve import describe_host
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -137,6 +138,7 @@ def main(argv=None) -> int:
             "frames": len(frames),
             "quick": bool(args.quick),
         },
+        "host": describe_host(),
         "targets": {},
     }
     for target in args.targets:

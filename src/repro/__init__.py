@@ -35,12 +35,17 @@ Sub-packages
 ``repro.parallel``
     Executor-based trial parallelism (serial / process pools) and the
     content-addressed result cache behind ``FlowConfig(executor=...)``.
+``repro.serve``
+    Multi-session streaming inference service: asyncio HTTP/1.1 (or WSGI)
+    front-end, per-session majority FIFOs, cross-session micro-batching
+    through ``Engine.predict_batch``, backpressure, TTL eviction, metrics.
 """
 
 from . import datasets, deploy, engine, flow, hw, nas, nn, parallel, postproc, quant
+from . import serve
 from .engine import Engine, StreamSession, available_targets, compile, register_target
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "compile",
@@ -58,5 +63,6 @@ __all__ = [
     "deploy",
     "flow",
     "parallel",
+    "serve",
     "__version__",
 ]

@@ -14,6 +14,7 @@ exposes the same four operations everywhere:
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 import numpy as np
@@ -24,12 +25,21 @@ from .results import BatchPrediction, Prediction, StreamSummary, StreamUpdate
 
 
 class Engine:
-    """A model compiled for one execution target."""
+    """A model compiled for one execution target.
+
+    ``predict`` / ``predict_batch`` / ``verify`` are thread-safe: they
+    serialize on one internal lock, because the simulated backends mutate
+    platform state (register file, data memory) per call.  The serving
+    layer (:mod:`repro.serve`) additionally confines all engine calls to a
+    single dispatch thread, so the lock is a safety net rather than a
+    contention point.
+    """
 
     def __init__(self, backend, majority_window: int = 5, num_classes: int = 4):
         self.backend = backend
         self.majority_window = majority_window
         self.num_classes = num_classes
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -53,16 +63,23 @@ class Engine:
     # ------------------------------------------------------------------ #
     def predict(self, frame: np.ndarray) -> Prediction:
         """Run one ``(C, H, W)`` preprocessed frame."""
-        return self.backend.predict_frame(np.asarray(frame))
+        with self._lock:
+            return self.backend.predict_frame(np.asarray(frame))
 
     def predict_batch(self, frames: np.ndarray) -> BatchPrediction:
         """Run a ``(N, C, H, W)`` batch of preprocessed frames."""
-        return self.backend.predict_batch(np.asarray(frames))
+        with self._lock:
+            return self.backend.predict_batch(np.asarray(frames))
 
     def stream(
         self, window: Optional[int] = None, num_classes: Optional[int] = None
     ) -> "StreamSession":
-        """Open a streaming session (majority-voting FIFO included)."""
+        """Open a streaming session (majority-voting FIFO included).
+
+        For the served, multi-session equivalent — many concurrent sensor
+        streams over one engine, with cross-session micro-batching — see
+        :mod:`repro.serve` (``repro.serve.start_server(engine)``).
+        """
         return StreamSession(
             self.backend,
             window=window if window is not None else self.majority_window,
@@ -88,7 +105,8 @@ class Engine:
                 f"target {self.target!r} does not support golden-model "
                 "verification"
             )
-        return self.backend.verify(np.asarray(frames))
+        with self._lock:
+            return self.backend.verify(np.asarray(frames))
 
     def describe(self) -> str:
         name = self.label or type(self.backend.bundle.source).__name__

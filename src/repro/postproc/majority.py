@@ -12,6 +12,7 @@ about half the window length when the true count changes.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
@@ -33,6 +34,11 @@ class MajorityVoter:
 
     Ties are broken in favour of the most recent prediction among the tied
     classes, which keeps the filter responsive to genuine count changes.
+
+    ``update`` / ``reset`` / ``__len__`` are thread-safe (one internal
+    lock): the serving layer votes from its batcher dispatch thread while
+    session open/close/eviction runs on HTTP handler threads, and an
+    update must never observe a half-cleared FIFO.
     """
 
     def __init__(self, window: int = 5, num_classes: int = 4):
@@ -41,9 +47,11 @@ class MajorityVoter:
         self.window = window
         self.num_classes = num_classes
         self._fifo: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
 
     def reset(self) -> None:
-        self._fifo.clear()
+        with self._lock:
+            self._fifo.clear()
 
     def update(self, prediction: int) -> int:
         """Push a new single-frame prediction and return the filtered output."""
@@ -52,16 +60,17 @@ class MajorityVoter:
             raise ValueError(
                 f"prediction {prediction} outside [0, {self.num_classes})"
             )
-        self._fifo.append(prediction)
-        counts = Counter(self._fifo)
-        best_count = max(counts.values())
-        tied = {cls for cls, cnt in counts.items() if cnt == best_count}
-        if len(tied) == 1:
-            return tied.pop()
-        # Tie-break: most recent prediction among the tied classes.
-        for value in reversed(self._fifo):
-            if value in tied:
-                return value
+        with self._lock:
+            self._fifo.append(prediction)
+            counts = Counter(self._fifo)
+            best_count = max(counts.values())
+            tied = {cls for cls, cnt in counts.items() if cnt == best_count}
+            if len(tied) == 1:
+                return tied.pop()
+            # Tie-break: most recent prediction among the tied classes.
+            for value in reversed(self._fifo):
+                if value in tied:
+                    return value
         raise RuntimeError("unreachable: FIFO is non-empty")  # pragma: no cover
 
     def memory_bytes(self) -> int:
@@ -69,7 +78,8 @@ class MajorityVoter:
         return self.window
 
     def __len__(self) -> int:
-        return len(self._fifo)
+        with self._lock:
+            return len(self._fifo)
 
 
 def majority_filter(

@@ -1,0 +1,120 @@
+"""Minimal stdlib client for the serving API.
+
+One :class:`ServeClient` holds one keep-alive ``http.client`` connection —
+exactly what a sensor node (or one load-generator thread) uses.  Instances
+are not thread-safe; give each concurrent stream its own client.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Optional, Union
+
+import numpy as np
+
+from .errors import (
+    BadRequestError,
+    OverloadedError,
+    ServeError,
+    SessionClosedError,
+    ShuttingDownError,
+    UnknownSessionError,
+)
+
+_ERRORS_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        UnknownSessionError,
+        SessionClosedError,
+        OverloadedError,
+        ShuttingDownError,
+        BadRequestError,
+    )
+}
+
+
+class ServeClientError(ServeError):
+    """A server-side error surfaced client-side (unknown code or 5xx)."""
+
+
+class ServeClient:
+    """Synchronous HTTP client mirroring the serving endpoints."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        except (ConnectionError, OSError):
+            # Stale keep-alive connection: reconnect once.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            data = json.loads(raw.decode()) if raw else {}
+        else:
+            data = raw.decode()
+        if response.status >= 400:
+            code = data.get("error", "") if isinstance(data, dict) else ""
+            detail = data.get("detail", "") if isinstance(data, dict) else str(data)
+            raise _ERRORS_BY_CODE.get(code, ServeClientError)(detail)
+        return data
+
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self, window: Optional[int] = None, num_classes: Optional[int] = None
+    ) -> dict:
+        payload = {}
+        if window is not None:
+            payload["window"] = window
+        if num_classes is not None:
+            payload["num_classes"] = num_classes
+        return self._request("POST", "/v1/sessions", payload or None)
+
+    def push(self, session_id: str, frames: Union[np.ndarray, list]) -> dict:
+        """Push one ``(C, H, W)`` frame or an ``(N, C, H, W)`` chunk."""
+        if isinstance(frames, np.ndarray):
+            frames = frames.tolist()
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/frames", {"frames": frames}
+        )
+
+    def close_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

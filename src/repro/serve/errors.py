@@ -1,0 +1,55 @@
+"""Error taxonomy of the serving layer.
+
+Every failure the service can report to a client is a :class:`ServeError`
+carrying an HTTP status code and a short machine-readable ``code``; the
+HTTP front-ends (asyncio and WSGI) translate them uniformly into JSON
+``{"error": code, "detail": ...}`` bodies.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class: a client-reportable serving failure."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, detail: str = ""):
+        super().__init__(detail or self.code)
+        self.detail = detail or self.code
+
+
+class UnknownSessionError(ServeError):
+    """The session id does not exist (never opened, closed, or evicted)."""
+
+    status = 404
+    code = "unknown_session"
+
+
+class SessionClosedError(ServeError):
+    """The session was closed or evicted while frames were still in flight."""
+
+    status = 409
+    code = "session_closed"
+
+
+class OverloadedError(ServeError):
+    """Backpressure: the global or per-session queue bound was hit."""
+
+    status = 429
+    code = "overloaded"
+
+
+class ShuttingDownError(ServeError):
+    """The server is draining and no longer accepts new work."""
+
+    status = 503
+    code = "shutting_down"
+
+
+class BadRequestError(ServeError):
+    """Malformed request body (bad JSON, wrong frame shape, ...)."""
+
+    status = 400
+    code = "bad_request"

@@ -1,0 +1,153 @@
+"""Serving metrics, rendered in Prometheus text exposition format.
+
+The registry is deliberately tiny and dependency-free: monotonic counters,
+gauges backed by callables (so queue depth / active sessions are read at
+scrape time), one histogram for micro-batch sizes, and a bounded latency
+reservoir from which ``/metrics`` reports p50/p99 summary quantiles.
+
+All mutating methods are thread-safe — they are called from the HTTP
+handlers, the batcher dispatch thread and the eviction sweeper concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+_PREFIX = "repro_serve"
+
+# Micro-batch size buckets: powers of two up to a generous ceiling.
+DEFAULT_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def quantile(sample: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sample (q in [0, 1])."""
+    if not sample:
+        raise ValueError("quantile of an empty sample")
+    ordered = sorted(sample)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class ServeMetrics:
+    """Counters / gauges / histogram / latency reservoir for one service."""
+
+    def __init__(
+        self,
+        batch_buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
+        latency_reservoir: int = 4096,
+    ):
+        self._lock = threading.Lock()
+        self._requests: Dict[Tuple[str, int], int] = {}
+        self._counters: Dict[str, int] = {
+            "frames_total": 0,
+            "batches_total": 0,
+            "rejected_total": 0,
+            "evictions_total": 0,
+            "sessions_opened_total": 0,
+            "sessions_closed_total": 0,
+        }
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._batch_buckets = tuple(sorted(batch_buckets))
+        self._batch_counts = [0] * (len(self._batch_buckets) + 1)  # +Inf
+        self._batch_sum = 0
+        self._batch_n = 0
+        self._latencies: deque = deque(maxlen=latency_reservoir)
+
+    # ------------------------------------------------------------------ #
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        self._gauges[name] = fn
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_request(self, endpoint: str, status: int) -> None:
+        with self._lock:
+            key = (endpoint, status)
+            self._requests[key] = self._requests.get(key, 0) + 1
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sum += size
+            self._batch_n += 1
+            for i, edge in enumerate(self._batch_buckets):
+                if size <= edge:
+                    self._batch_counts[i] += 1
+                    return
+            self._batch_counts[-1] += 1
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def latency_quantiles(self, qs: Sequence[float] = (0.5, 0.99)) -> Dict[float, Optional[float]]:
+        with self._lock:
+            sample = list(self._latencies)
+        return {q: (quantile(sample, q) if sample else None) for q in qs}
+
+    def batch_histogram(self) -> Dict[str, int]:
+        """Cumulative bucket counts keyed by upper edge (Prometheus ``le``)."""
+        with self._lock:
+            out, running = {}, 0
+            for edge, count in zip(self._batch_buckets, self._batch_counts):
+                running += count
+                out[str(edge)] = running
+            out["+Inf"] = running + self._batch_counts[-1]
+            return out
+
+    def mean_batch_size(self) -> Optional[float]:
+        with self._lock:
+            return self._batch_sum / self._batch_n if self._batch_n else None
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """The ``/metrics`` payload (Prometheus text format, version 0.0.4)."""
+        with self._lock:
+            requests = dict(self._requests)
+            counters = dict(self._counters)
+            batch_counts = list(self._batch_counts)
+            batch_sum, batch_n = self._batch_sum, self._batch_n
+            sample = list(self._latencies)
+        lines: List[str] = []
+
+        lines.append(f"# TYPE {_PREFIX}_requests_total counter")
+        for (endpoint, status), count in sorted(requests.items()):
+            lines.append(
+                f'{_PREFIX}_requests_total{{endpoint="{endpoint}",status="{status}"}} {count}'
+            )
+        for name, value in sorted(counters.items()):
+            lines.append(f"# TYPE {_PREFIX}_{name} counter")
+            lines.append(f"{_PREFIX}_{name} {value}")
+        for name, fn in sorted(self._gauges.items()):
+            lines.append(f"# TYPE {_PREFIX}_{name} gauge")
+            lines.append(f"{_PREFIX}_{name} {fn()}")
+
+        lines.append(f"# TYPE {_PREFIX}_batch_size histogram")
+        running = 0
+        for edge, count in zip(self._batch_buckets, batch_counts):
+            running += count
+            lines.append(f'{_PREFIX}_batch_size_bucket{{le="{edge}"}} {running}')
+        lines.append(
+            f'{_PREFIX}_batch_size_bucket{{le="+Inf"}} {running + batch_counts[-1]}'
+        )
+        lines.append(f"{_PREFIX}_batch_size_sum {batch_sum}")
+        lines.append(f"{_PREFIX}_batch_size_count {batch_n}")
+
+        lines.append(f"# TYPE {_PREFIX}_request_latency_seconds summary")
+        for q in (0.5, 0.99):
+            if sample:
+                value = quantile(sample, q)
+                lines.append(
+                    f'{_PREFIX}_request_latency_seconds{{quantile="{q}"}} {value:.9f}'
+                )
+        lines.append(f"{_PREFIX}_request_latency_seconds_sum {sum(sample):.9f}")
+        lines.append(f"{_PREFIX}_request_latency_seconds_count {len(sample)}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,319 @@
+"""Transport-agnostic core of the serving subsystem.
+
+:class:`ServeService` glues one thread-safe :class:`~repro.engine.Engine`
+to the session registry, the cross-session micro-batcher and the metrics
+registry, and implements the HTTP route semantics once — both front-ends
+(the hand-rolled asyncio HTTP/1.1 server and the WSGI adapter) route into
+:meth:`ServeService.handle` and only differ in how they wait for the
+batcher's future: the asyncio server awaits it, WSGI blocks on it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .errors import BadRequestError, ServeError, ShuttingDownError
+from .metrics import ServeMetrics
+from .sessions import SessionManager
+
+_FRAMES_PATH = re.compile(r"^/v1/sessions/([0-9a-f]+)/frames$")
+_SESSION_PATH = re.compile(r"^/v1/sessions/([0-9a-f]+)$")
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the serving layer (micro-batching, backpressure, eviction)."""
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 1024
+    max_session_queue: int = 256
+    session_ttl_s: float = 300.0
+    request_timeout_s: float = 30.0
+    majority_window: Optional[int] = None  # None: the engine's default
+    num_classes: Optional[int] = None  # None: the engine's default
+
+    def as_json(self) -> dict:
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_queue": self.max_queue,
+            "max_session_queue": self.max_session_queue,
+            "session_ttl_s": self.session_ttl_s,
+        }
+
+
+@dataclass
+class Response:
+    """One materialized HTTP response."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+    @classmethod
+    def json(cls, status: int, payload: Any) -> "Response":
+        return cls(status=status, body=(json.dumps(payload) + "\n").encode())
+
+    @classmethod
+    def text(cls, status: int, payload: str) -> "Response":
+        return cls(
+            status=status,
+            body=payload.encode(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    @classmethod
+    def error(cls, exc: ServeError) -> "Response":
+        return cls.json(exc.status, {"error": exc.code, "detail": exc.detail})
+
+
+@dataclass
+class PendingResponse:
+    """A frames request waiting on the micro-batcher.
+
+    The front-end waits for :attr:`future` its own way (``await`` vs
+    ``.result()``) and then calls :meth:`complete` / :meth:`fail` to turn
+    the outcome into a uniform :class:`Response`.
+    """
+
+    future: Future
+    session_id: str
+    count: int
+    endpoint: str = "frames"
+    started: float = field(default_factory=time.perf_counter)
+    _metrics: Optional[ServeMetrics] = None
+
+    def complete(self, results) -> Response:
+        if self._metrics is not None:
+            self._metrics.observe_latency(time.perf_counter() - self.started)
+        return Response.json(
+            200,
+            {
+                "session_id": self.session_id,
+                "count": self.count,
+                "results": [r.as_json() for r in results],
+            },
+        )
+
+    def fail(self, exc: BaseException) -> Response:
+        if isinstance(exc, ServeError):
+            return Response.error(exc)
+        return Response.json(500, {"error": "internal", "detail": str(exc)})
+
+
+class ServeService:
+    """Sessions + micro-batcher + metrics over one compiled engine."""
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[ServeConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self.sessions = SessionManager(
+            ttl_s=self.config.session_ttl_s,
+            default_window=self.config.majority_window
+            if self.config.majority_window is not None
+            else getattr(engine, "majority_window", 5),
+            num_classes=self.config.num_classes
+            if self.config.num_classes is not None
+            else getattr(engine, "num_classes", 4),
+            clock=clock,
+        )
+        self.batcher = MicroBatcher(
+            engine.predict_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+            max_session_queue=self.config.max_session_queue,
+            metrics=self.metrics,
+            clock=clock,
+        )
+        self.metrics.register_gauge("active_sessions", lambda: len(self.sessions))
+        self.metrics.register_gauge("queue_depth", lambda: self.batcher.depth)
+        self._started = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self.batcher.start()
+        self._started = True
+        self._stopping = False
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: refuse new work, drain in-flight batches."""
+        self._stopping = True
+        self.batcher.stop(drain=drain)
+        self.sessions.close_all()
+        self._started = False
+
+    @property
+    def accepting(self) -> bool:
+        return self._started and not self._stopping
+
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self, window: Optional[int] = None, num_classes: Optional[int] = None
+    ) -> dict:
+        if not self.accepting:
+            raise ShuttingDownError("server is draining")
+        try:
+            session = self.sessions.open(window=window, num_classes=num_classes)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from exc
+        self.metrics.inc("sessions_opened_total")
+        return {
+            "session_id": session.id,
+            "window": session.window,
+            "num_classes": session.num_classes,
+            "target": getattr(self.engine, "target", "unknown"),
+            "config": self.config.as_json(),
+        }
+
+    def submit_frames(self, session_id: str, frames: np.ndarray) -> PendingResponse:
+        session = self.sessions.get(session_id)
+        future = self.batcher.submit(session, frames)
+        return PendingResponse(
+            future=future,
+            session_id=session_id,
+            count=int(frames.shape[0]),
+            _metrics=self.metrics,
+        )
+
+    def close_session(self, session_id: str) -> dict:
+        session = self.sessions.close(session_id)
+        self.metrics.inc("sessions_closed_total")
+        return session.describe()
+
+    def evict_idle(self) -> int:
+        evicted = self.sessions.evict_idle()
+        if evicted:
+            self.metrics.inc("evictions_total", len(evicted))
+        return len(evicted)
+
+    def healthz(self) -> Tuple[int, dict]:
+        status = 200 if self.accepting else 503
+        return status, {
+            "status": "ok" if self.accepting else "shutting_down",
+            "target": getattr(self.engine, "target", "unknown"),
+            "active_sessions": len(self.sessions),
+            "queue_depth": self.batcher.depth,
+        }
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRequestError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequestError("JSON body must be an object")
+        return payload
+
+    @staticmethod
+    def _parse_frames(payload: dict) -> np.ndarray:
+        if "frames" not in payload:
+            raise BadRequestError("missing 'frames' field")
+        try:
+            frames = np.asarray(payload["frames"], dtype=np.float64)
+        except (ValueError, TypeError) as exc:
+            raise BadRequestError(f"frames are not a numeric array: {exc}") from exc
+        if frames.ndim == 3:  # a single (C, H, W) frame
+            frames = frames[None]
+        if frames.ndim != 4 or frames.shape[0] < 1:
+            raise BadRequestError(
+                "frames must be one (C, H, W) frame or an (N, C, H, W) batch; "
+                f"got shape {frames.shape}"
+            )
+        return frames
+
+    def handle(self, method: str, path: str, body: bytes):
+        """Route one request; returns a :class:`Response` or, for the frames
+        endpoint, a :class:`PendingResponse` the caller must wait on."""
+        path = path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return self._method_not_allowed("healthz")
+                status, payload = self.healthz()
+                return self._observed("healthz", Response.json(status, payload))
+            if path == "/metrics":
+                if method != "GET":
+                    return self._method_not_allowed("metrics")
+                return self._observed("metrics", Response.text(200, self.metrics.render()))
+            if path == "/v1/sessions":
+                if method != "POST":
+                    return self._method_not_allowed("sessions")
+                payload = self._parse_json(body)
+                opened = self.open_session(
+                    window=payload.get("window"),
+                    num_classes=payload.get("num_classes"),
+                )
+                return self._observed("sessions", Response.json(201, opened))
+            match = _FRAMES_PATH.match(path)
+            if match:
+                if method != "POST":
+                    return self._method_not_allowed("frames")
+                frames = self._parse_frames(self._parse_json(body))
+                return self.submit_frames(match.group(1), frames)
+            match = _SESSION_PATH.match(path)
+            if match:
+                if method != "DELETE":
+                    return self._method_not_allowed("sessions")
+                return self._observed(
+                    "sessions", Response.json(200, self.close_session(match.group(1)))
+                )
+            return self._observed(
+                "unknown",
+                Response.json(404, {"error": "not_found", "detail": f"no route {path}"}),
+            )
+        except ServeError as exc:
+            endpoint = "frames" if "/frames" in path else path.strip("/") or "unknown"
+            if exc.status == 429:
+                self.metrics.inc("rejected_total")
+            return self._observed(endpoint, Response.error(exc))
+
+    def resolve(self, pending: PendingResponse) -> Response:
+        """Synchronously wait out a pending frames request (WSGI path)."""
+        try:
+            results = pending.future.result(timeout=self.config.request_timeout_s)
+        except BaseException as exc:  # noqa: BLE001 - mapped to a response
+            return self._observed(pending.endpoint, pending.fail(exc))
+        return self._observed(pending.endpoint, pending.complete(results))
+
+    def _observed(self, endpoint: str, response: Response) -> Response:
+        self.metrics.observe_request(endpoint, response.status)
+        return response
+
+    def _method_not_allowed(self, endpoint: str) -> Response:
+        return self._observed(
+            endpoint,
+            Response.json(405, {"error": "method_not_allowed", "detail": ""}),
+        )
+
+
+def describe_host() -> dict:
+    """Host fingerprint recorded in benchmark payloads (satellite task)."""
+    import os
+
+    return {
+        "cpus": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+    }

@@ -1,0 +1,147 @@
+"""Per-sensor session state and the TTL-evicting session registry.
+
+One :class:`Session` is the serving-side mirror of an offline
+``Engine.stream()`` run: it owns a :class:`~repro.postproc.majority.MajorityVoter`
+(the paper's sliding-window mode filter) plus bookkeeping — a monotonic
+sequence counter for frame ordering, activity timestamps on the monotonic
+clock for idle eviction, and a ``closed`` flag checked by the batcher so
+frames of a deleted session never reach the voter.
+
+The manager is thread-safe: sessions are opened/closed from HTTP handler
+threads while the batcher dispatch thread votes and the sweeper evicts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional
+
+from ..postproc.majority import MajorityVoter
+from .errors import UnknownSessionError
+
+
+class Session:
+    """State of one connected sensor stream."""
+
+    def __init__(
+        self,
+        session_id: str,
+        window: int,
+        num_classes: int,
+        now: float,
+    ):
+        self.id = session_id
+        self.window = window
+        self.num_classes = num_classes
+        self.voter = MajorityVoter(window=window, num_classes=num_classes)
+        self.created = now
+        self.last_active = now
+        self.next_seq = 0  # frames admitted (sequence numbers handed out)
+        self.frames_done = 0  # frames fully predicted + voted
+        self.pending = 0  # frames admitted but not yet dispatched
+        self.closed = False
+        self.lock = threading.Lock()
+
+    def touch(self, now: float) -> None:
+        self.last_active = now
+
+    def describe(self) -> dict:
+        return {
+            "session_id": self.id,
+            "window": self.window,
+            "num_classes": self.num_classes,
+            "frames_seen": self.frames_done,
+        }
+
+
+class SessionManager:
+    """Registry of live sessions with monotonic-clock TTL eviction.
+
+    ``clock`` is injectable (defaults to :func:`time.monotonic`) so the
+    eviction logic is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        ttl_s: float = 300.0,
+        default_window: int = 5,
+        num_classes: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self.ttl_s = ttl_s
+        self.default_window = default_window
+        self.num_classes = num_classes
+        self._clock = clock
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def open(
+        self, window: Optional[int] = None, num_classes: Optional[int] = None
+    ) -> Session:
+        session = Session(
+            session_id=uuid.uuid4().hex[:16],
+            window=int(window) if window is not None else self.default_window,
+            num_classes=int(num_classes) if num_classes is not None else self.num_classes,
+            now=self._clock(),
+        )
+        with self._lock:
+            self._sessions[session.id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """Look up a session, lazily evicting it if its TTL has expired."""
+        now = self._clock()
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None and now - session.last_active > self.ttl_s:
+                self._sessions.pop(session_id, None)
+                with session.lock:
+                    session.closed = True
+                session = None
+        if session is None:
+            raise UnknownSessionError(f"no session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise UnknownSessionError(f"no session {session_id!r}")
+        with session.lock:
+            session.closed = True
+        return session
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            with session.lock:
+                session.closed = True
+
+    def evict_idle(self, now: Optional[float] = None) -> List[Session]:
+        """Drop every session idle longer than the TTL; returns the evicted."""
+        now = self._clock() if now is None else now
+        evicted: List[Session] = []
+        with self._lock:
+            for sid, session in list(self._sessions.items()):
+                if now - session.last_active > self.ttl_s:
+                    self._sessions.pop(sid)
+                    evicted.append(session)
+        for session in evicted:
+            with session.lock:
+                session.closed = True
+        return evicted
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._sessions)

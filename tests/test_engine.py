@@ -183,6 +183,15 @@ class TestStreaming:
         with pytest.raises(EngineError):
             session.push(np.zeros((1, 8, 8)))
 
+    def test_push_after_close_rejected(self, trained_small_model, prepared_data):
+        engine = repro.compile(trained_small_model, target="numpy-float")
+        session = engine.stream(window=3)
+        with session:
+            session.push(prepared_data["test"].inputs[0])
+        # The context exited: the stream is closed and must refuse frames.
+        with pytest.raises(EngineError):
+            session.push(prepared_data["test"].inputs[1])
+
     def test_reentered_session_starts_fresh(self, trained_small_model, prepared_data):
         inputs = prepared_data["test"].inputs[:6]
         session = repro.compile(trained_small_model, target="numpy-float").stream(window=3)

@@ -77,6 +77,76 @@ class TestMajorityVoter:
         np.testing.assert_array_equal(majority_filter(constant, window=5), constant)
 
 
+class TestMajorityVoterThreadSafety:
+    """The serving layer votes from its batcher thread while session
+    open/close/eviction resets run on HTTP threads — updates must never
+    observe a half-cleared FIFO or corrupt it."""
+
+    def test_concurrent_updates_stay_valid(self):
+        import threading
+
+        voter = MajorityVoter(window=5)
+        outputs = []
+        errors = []
+
+        def worker(cls):
+            try:
+                outputs.extend(voter.update(cls) for _ in range(500))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in (0, 1, 2, 3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        # Every output is a valid class and the FIFO never overfills.
+        assert all(0 <= v < 4 for v in outputs)
+        assert len(outputs) == 2000
+        assert len(voter) == 5
+
+    def test_concurrent_resets_never_corrupt(self):
+        import threading
+
+        voter = MajorityVoter(window=3)
+        stop = threading.Event()
+        errors = []
+
+        def resetter():
+            while not stop.is_set():
+                voter.reset()
+
+        def updater():
+            try:
+                for _ in range(2000):
+                    assert voter.update(1) == 1  # sole class always wins
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [
+            threading.Thread(target=resetter),
+            threading.Thread(target=updater),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(voter) <= 3
+
+    def test_reset_between_streams_forgets_history(self):
+        voter = MajorityVoter(window=5)
+        for p in (2, 2, 2, 2):
+            voter.update(p)
+        voter.reset()
+        # A fresh stream is not dragged toward the pre-reset majority.
+        assert voter.update(0) == 0
+        assert len(voter) == 1
+
+
 class TestEvaluation:
     def test_majority_improves_noisy_predictions(self):
         rng = np.random.default_rng(0)
