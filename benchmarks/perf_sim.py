@@ -1,18 +1,20 @@
 #!/usr/bin/env python
-"""Interp-vs-fast simulator benchmark on the LINAIGE streaming workload.
+"""Three-mode simulator benchmark on the LINAIGE streaming workload.
 
 Builds a Table-I-class quantized CNN, compiles it for the ISA-simulated
 targets and streams a batch of held-out LINAIGE frames through
-``Engine.predict_batch`` in both simulation modes, asserting **bit-exact**
-agreement (predictions, logits, cycles, energy) before reporting speed:
+``Engine.predict_batch`` in every simulation mode (``interp``, ``fast``,
+``jit``), asserting **bit-exact** agreement (predictions, logits, cycles,
+energy) before reporting speed:
 
-* frames/sec per mode, and the fast/interp speedup,
+* trace-compile time vs steady-state streaming time, split per mode,
+* frames/sec per mode, speedups vs the interpreter AND vs fast mode,
 * simulated cycles/sec (how much silicon time one wall-clock second buys).
 
 Results are written as machine-readable JSON (``BENCH_sim.json`` at the
 repository root by default) to seed the performance trajectory; CI runs
-``perf_sim.py --quick`` as a smoke job, so a fast/interp mismatch or a
-collapse of the fast path fails every PR.
+``perf_sim.py --quick`` as a smoke job, so any cross-mode mismatch or a
+collapse of the compiled paths fails every PR.
 
 Usage::
 
@@ -33,6 +35,7 @@ import repro
 from repro.datasets import generate_linaige
 from repro.engine import ModelBundle
 from repro.flow import Preprocessor, build_seed_cnn
+from repro.hw.sim import clear_trace_cache, get_template
 from repro.quant import PrecisionScheme, quantize_model
 from repro.serve import describe_host
 
@@ -43,6 +46,13 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 FULL = dict(conv_channels=(24, 24), hidden_features=40, frames=6, scale=0.05)
 QUICK = dict(conv_channels=(12, 16), hidden_features=24, frames=3, scale=0.03)
 SCHEME = (8, 4, 4, 8)
+MODES = ("interp", "fast", "jit")
+
+# Full-run acceptance floors (wall-clock ratios are too noisy on the quick
+# CI workload, so --quick only enforces bit-exact parity).
+FAST_VS_INTERP_FLOOR = 10.0
+JIT_VS_FAST_FLOOR = 5.0
+JIT_VS_INTERP_FLOOR = 60.0
 
 
 def build_workload(cfg):
@@ -65,50 +75,93 @@ def build_workload(cfg):
 
 
 def time_mode(bundle, target, mode, frames):
+    """Measure trace-compile time and steady-state streaming time.
+
+    The compile phase is the program decode + trace/JIT compilation the
+    mode pays once per program; steady state is a ``predict_batch`` after
+    all per-core caches are warm (one warm-up frame).  The interpreter has
+    no compile phase.
+    """
     engine = repro.compile(bundle, target=target, sim_mode=mode)
     engine.backend.prepare()  # load once; measure steady-state streaming
-    start = time.perf_counter()
-    batch = engine.predict_batch(frames)
-    elapsed = time.perf_counter() - start
-    return batch, elapsed
+    core = engine.backend.platform.core
+    program = engine.backend.compiled.program
 
+    compile_s = 0.0
+    if mode == "jit":
+        clear_trace_cache()
+        start = time.perf_counter()
+        get_template(program, core.cycle_model, core.enable_sdotp)
+        compile_s = time.perf_counter() - start
+    elif mode == "fast":
+        from repro.hw.sim import compile_trace
 
-def check_parity(target, fast, interp):
-    failures = []
-    if not np.array_equal(fast.predictions, interp.predictions):
-        failures.append("predictions")
-    if not np.array_equal(fast.logits, interp.logits):
-        failures.append("logits")
-    if not np.array_equal(fast.cycles_per_frame, interp.cycles_per_frame):
-        failures.append("cycles")
-    if not np.array_equal(fast.energy_uj_per_frame, interp.energy_uj_per_frame):
-        failures.append("energy")
-    if failures:
-        raise SystemExit(
-            f"FAST/INTERP MISMATCH on {target}: {', '.join(failures)} differ"
+        start = time.perf_counter()
+        compile_trace(
+            program,
+            engine.backend.platform.memory,
+            cycle_model=core.cycle_model,
+            enable_sdotp=core.enable_sdotp,
         )
+        compile_s = time.perf_counter() - start
+
+    engine.predict_batch(frames[:1])  # warm per-core caches
+    steady_s = float("inf")
+    for _ in range(2):  # best-of-2 guards against scheduler noise
+        start = time.perf_counter()
+        batch = engine.predict_batch(frames)
+        steady_s = min(steady_s, time.perf_counter() - start)
+    return batch, compile_s, steady_s
+
+
+def check_parity(target, batches):
+    reference = batches["interp"]
+    for mode in ("fast", "jit"):
+        failures = []
+        batch = batches[mode]
+        if not np.array_equal(batch.predictions, reference.predictions):
+            failures.append("predictions")
+        if not np.array_equal(batch.logits, reference.logits):
+            failures.append("logits")
+        if not np.array_equal(batch.cycles_per_frame, reference.cycles_per_frame):
+            failures.append("cycles")
+        if not np.array_equal(
+            batch.energy_uj_per_frame, reference.energy_uj_per_frame
+        ):
+            failures.append("energy")
+        if failures:
+            raise SystemExit(
+                f"{mode.upper()}/INTERP MISMATCH on {target}: "
+                f"{', '.join(failures)} differ"
+            )
 
 
 def bench_target(bundle, target, frames):
-    interp_batch, interp_s = time_mode(bundle, target, "interp", frames)
-    fast_batch, fast_s = time_mode(bundle, target, "fast", frames)
-    check_parity(target, fast_batch, interp_batch)
+    batches, rows = {}, {}
     n = len(frames)
-    cycles = int(interp_batch.cycles_per_frame.sum())
+    for mode in MODES:
+        batch, compile_s, steady_s = time_mode(bundle, target, mode, frames)
+        batches[mode] = batch
+        cycles = int(batch.cycles_per_frame.sum())
+        rows[mode] = {
+            "compile_seconds": compile_s,
+            "seconds": steady_s,
+            "frames_per_sec": n / steady_s,
+            "sim_cycles_per_sec": cycles / steady_s,
+        }
+    check_parity(target, batches)
+    interp_s = rows["interp"]["seconds"]
+    fast_s = rows["fast"]["seconds"]
+    jit_s = rows["jit"]["seconds"]
     return {
         "frames": n,
-        "cycles_per_frame": float(interp_batch.mean_cycles),
-        "interp": {
-            "seconds": interp_s,
-            "frames_per_sec": n / interp_s,
-            "sim_cycles_per_sec": cycles / interp_s,
+        "cycles_per_frame": float(batches["interp"].mean_cycles),
+        "modes": rows,
+        "speedups": {
+            "fast_vs_interp": interp_s / fast_s,
+            "jit_vs_interp": interp_s / jit_s,
+            "jit_vs_fast": fast_s / jit_s,
         },
-        "fast": {
-            "seconds": fast_s,
-            "frames_per_sec": n / fast_s,
-            "sim_cycles_per_sec": cycles / fast_s,
-        },
-        "speedup": interp_s / fast_s,
     }
 
 
@@ -144,16 +197,21 @@ def main(argv=None) -> int:
     for target in args.targets:
         row = bench_target(bundle, target, frames)
         results["targets"][target] = row
+        speed = row["speedups"]
         print(
-            f"{target:<8} interp {row['interp']['frames_per_sec']:6.2f} fps | "
-            f"fast {row['fast']['frames_per_sec']:7.2f} fps | "
-            f"speedup {row['speedup']:5.1f}x | "
-            f"{row['fast']['sim_cycles_per_sec'] / 1e6:6.1f} Msimcycles/s (fast)"
+            f"{target:<8} "
+            f"interp {row['modes']['interp']['frames_per_sec']:6.2f} fps | "
+            f"fast {row['modes']['fast']['frames_per_sec']:7.2f} fps | "
+            f"jit {row['modes']['jit']['frames_per_sec']:8.2f} fps | "
+            f"jit/fast {speed['jit_vs_fast']:5.1f}x | "
+            f"jit/interp {speed['jit_vs_interp']:6.1f}x | "
+            f"{row['modes']['jit']['sim_cycles_per_sec'] / 1e6:7.1f} Msimcycles/s"
         )
 
-    results["min_speedup"] = min(
-        row["speedup"] for row in results["targets"].values()
-    )
+    results["min_speedups"] = {
+        key: min(row["speedups"][key] for row in results["targets"].values())
+        for key in ("fast_vs_interp", "jit_vs_interp", "jit_vs_fast")
+    }
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"parity: OK (bit-exact on {', '.join(results['targets'])})")
     print(f"wrote {args.out}")
@@ -161,11 +219,22 @@ def main(argv=None) -> int:
     # The quick CI job only enforces bit-exact parity (check_parity above
     # already exited on any mismatch) — tiny workloads on shared runners
     # make wall-clock ratios too noisy to gate on.  The full run enforces
-    # the 10x acceptance bar.
-    if not args.quick and results["min_speedup"] < 10.0:
-        print(f"FAIL: fast-mode speedup {results['min_speedup']:.1f}x "
-              "below the 10x floor", file=sys.stderr)
-        return 1
+    # the acceptance bars.
+    if not args.quick:
+        floors = {
+            "fast_vs_interp": FAST_VS_INTERP_FLOOR,
+            "jit_vs_fast": JIT_VS_FAST_FLOOR,
+            "jit_vs_interp": JIT_VS_INTERP_FLOOR,
+        }
+        failed = False
+        for key, floor in floors.items():
+            measured = results["min_speedups"][key]
+            if measured < floor:
+                print(f"FAIL: {key} speedup {measured:.1f}x below the "
+                      f"{floor:.0f}x floor", file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
     return 0
 
 

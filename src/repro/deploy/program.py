@@ -106,6 +106,27 @@ class CompiledModel:
             f"data={self.data_size_bytes}B, layers={len(self.layer_summaries)})"
         )
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the program image.
+
+        Covers every instruction field that affects execution plus the
+        constant data chunks, so two independently compiled but identical
+        models share a fingerprint (and therefore a JIT trace-cache slot),
+        while any codegen or weight change produces a new one.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for i in self.program:
+            h.update(
+                f"{i.mnemonic}|{i.rd}|{i.rs1}|{i.rs2}|{i.imm};".encode()
+            )
+        for chunk in self.data_chunks:
+            h.update(chunk.address.to_bytes(4, "little"))
+            h.update(chunk.payload)
+        return h.hexdigest()
+
 
 class _Allocator:
     """Bump allocator over the data memory."""

@@ -33,6 +33,9 @@ class PlatformReport:
     cycles: float
     latency_ms: float
     energy_uj: float
+    # Simulator introspection (ISA-simulated targets only): simulation mode,
+    # vectorized kernel counts per kind, and JIT/closure block tallies.
+    sim: Optional[Dict] = None
 
     def row(self) -> str:
         return (

@@ -125,16 +125,19 @@ def write_input(platform: SmartSensorPlatform, compiled: CompiledModel, frame: n
     platform.memory.store_bytes(compiled.input_buffer.address, payload.tobytes())
 
 
+def _read_outputs_from(memory, compiled: CompiledModel) -> tuple:
+    """Read back (prediction, logits) from a memory after a program run."""
+    prediction = int(memory.load_word(compiled.result_address))
+    raw = memory.load_bytes(compiled.logits_address, 4 * compiled.num_classes)
+    logits = np.frombuffer(raw, dtype="<i4").astype(np.int64)
+    return prediction, logits
+
+
 def _read_outputs(
     platform: SmartSensorPlatform, compiled: CompiledModel
 ) -> tuple:
     """Read back (prediction, logits) after a program run."""
-    prediction = int(platform.memory.load_word(compiled.result_address))
-    raw = platform.memory.load_bytes(
-        compiled.logits_address, 4 * compiled.num_classes
-    )
-    logits = np.frombuffer(raw, dtype="<i4").astype(np.int64)
-    return prediction, logits
+    return _read_outputs_from(platform.memory, compiled)
 
 
 def run_frame(
@@ -171,6 +174,14 @@ def simulate_batch(
             logits=np.empty((0, compiled.num_classes), dtype=np.int64),
         )
     payloads = pack_input_frames(compiled, frames)
+    if platform.sim_mode == "jit" and len(payloads) > 1:
+        # Cross-frame batched walk: every frame runs against its own memory
+        # clone, so a failed attempt leaves the platform untouched and the
+        # sequential loop below reproduces the exact result (or fault).
+        try:
+            return _simulate_batch_jit(platform, compiled, payloads, keep_results)
+        except Exception:
+            pass
     buf_address = compiled.input_buffer.address
     store_bytes = platform.memory.store_bytes
     predictions: List[int] = []
@@ -195,6 +206,61 @@ def simulate_batch(
         logits=np.stack(logits_rows)
         if logits_rows
         else np.empty((0, compiled.num_classes), dtype=np.int64),
+    )
+
+
+def _simulate_batch_jit(
+    platform: SmartSensorPlatform,
+    compiled: CompiledModel,
+    payloads: np.ndarray,
+    keep_results: bool,
+) -> BatchInferenceResult:
+    """Batched JIT path of :func:`simulate_batch`.
+
+    One lockstep trace walk drives every frame (see
+    :mod:`repro.hw.sim.batch`), batching kernel calls into multi-frame numpy
+    ops.  The platform ends in the same architectural state as after a
+    sequential run: the last frame's memory, registers, pc and stats.
+    Raises on any divergence; the caller falls back to the sequential loop.
+    """
+    from ..hw.sim.batch import run_batch
+
+    core = platform.core
+    outcomes = run_batch(
+        platform.memory,
+        compiled.program,
+        [p.tobytes() for p in payloads],
+        compiled.input_buffer.address,
+        core.cycle_model,
+        core.enable_sdotp,
+        core.max_instructions,
+    )
+    predictions: List[int] = []
+    cycles: List[int] = []
+    logits_rows: List[np.ndarray] = []
+    results: List[InferenceResult] = []
+    for outcome in outcomes:
+        prediction, logits = _read_outputs_from(outcome.memory, compiled)
+        predictions.append(prediction)
+        cycles.append(outcome.stats.cycles)
+        logits_rows.append(logits)
+        if keep_results:
+            results.append(
+                InferenceResult(
+                    prediction=prediction, logits=logits, stats=outcome.stats
+                )
+            )
+    last = outcomes[-1]
+    platform.memory.copy_from(last.memory)
+    core.registers = list(last.regs)
+    core.pc = last.final_pc
+    core.stats = last.stats
+    core.halted = True
+    return BatchInferenceResult(
+        predictions=np.asarray(predictions, dtype=np.int64),
+        cycles_per_frame=np.asarray(cycles, dtype=np.int64),
+        results=results,
+        logits=np.stack(logits_rows),
     )
 
 

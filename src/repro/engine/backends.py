@@ -79,7 +79,7 @@ def compile_and_report(
     target: str,
     frames: np.ndarray,
     *,
-    sim_mode: str = "fast",
+    sim_mode: str = "jit",
     verify: bool = True,
 ) -> PlatformReport:
     """Compile ``model`` for ``target`` and produce its Table-I report.
@@ -162,12 +162,14 @@ class IntGoldenBackend(EngineBackend):
 class _SimulatedBackend(EngineBackend):
     """Shared implementation of the two ISA-simulated targets.
 
-    ``sim_mode`` selects the simulation engine: ``"fast"`` (default) runs
-    the trace-compiled vectorized simulator of :mod:`repro.hw.sim`,
-    ``"interp"`` the per-instruction reference interpreter.  Both are
-    bit-exact in predictions, logits, cycle counts and energy; batches go
-    through :func:`repro.deploy.runtime.simulate_batch`, which amortizes
-    model load, input packing and trace compilation across frames.
+    ``sim_mode`` selects the simulation engine: ``"jit"`` (default) runs
+    exec-compiled block code with cross-frame batching and the process-wide
+    trace cache (:mod:`repro.hw.sim.jit`), ``"fast"`` the trace-compiled
+    closure simulator, ``"interp"`` the per-instruction reference
+    interpreter.  All three are bit-exact in predictions, logits, cycle
+    counts and energy; batches go through
+    :func:`repro.deploy.runtime.simulate_batch`, which amortizes model
+    load, input packing and trace compilation across frames.
     """
 
     _platform_factory = None  # set by subclasses
@@ -192,7 +194,7 @@ class _SimulatedBackend(EngineBackend):
                 )
             self.platform = platform
         else:
-            self.platform = type(self)._platform_factory(sim_mode=sim_mode or "fast")
+            self.platform = type(self)._platform_factory(sim_mode=sim_mode or "jit")
         self.compiled = compiled or compile_network(
             self.network,
             use_sdotp=self.platform.spec.supports_sdotp,
@@ -244,6 +246,48 @@ class _SimulatedBackend(EngineBackend):
             self.platform, self.compiled, self.network, frames
         )
 
+    def sim_info(self) -> dict:
+        """Simulator introspection: mode, kernel counts and block tallies.
+
+        For ``"jit"`` mode, reports the vectorized-kernel counts per kind
+        plus how many basic blocks run as generated code vs the closure
+        fallback; for ``"fast"`` mode, the kernel counts of the compiled
+        trace; for ``"interp"`` mode, just the mode.
+        """
+        core = self.platform.core
+        info: dict = {"mode": self.sim_mode}
+        if self.sim_mode == "jit":
+            from ..hw.sim.trace_cache import get_template
+
+            template = get_template(
+                self.compiled.program, core.cycle_model, core.enable_sdotp
+            )
+            info["kernel_counts"] = template.kernel_counts()
+            info["blocks"] = template.block_tallies()
+        elif self.sim_mode == "fast":
+            from ..hw.sim import compile_trace
+
+            trace = None
+            cached = core._trace_cache.get(id(self.compiled.program))
+            if cached is not None and cached[0] is self.compiled.program:
+                trace = cached[2]
+            if trace is None:
+                trace = compile_trace(
+                    self.compiled.program,
+                    memory=self.platform.memory,
+                    cycle_model=core.cycle_model,
+                    enable_sdotp=core.enable_sdotp,
+                )
+            info["kernel_counts"] = trace.kernel_counts()
+            kernel = sum(1 for b in trace.blocks if b.kernel is not None)
+            info["blocks"] = {
+                "total": len(trace.blocks),
+                "kernel": kernel,
+                "jit": 0,
+                "closure": len(trace.blocks) - kernel,
+            }
+        return info
+
     def report(
         self, frames: Optional[np.ndarray] = None, *, measured=None
     ) -> PlatformReport:
@@ -265,6 +309,7 @@ class _SimulatedBackend(EngineBackend):
             cycles=cycles,
             latency_ms=spec.cycles_to_seconds(int(cycles)) * 1e3,
             energy_uj=spec.energy_per_inference_uj(int(cycles)),
+            sim=self.sim_info(),
         )
 
 

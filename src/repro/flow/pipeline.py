@@ -124,10 +124,11 @@ class FlowConfig:
     # disables the deployment stage (the default, matching older behaviour).
     deploy_targets: Sequence[str] = ()
     deploy_frames: int = 3
-    # Simulation engine for the ISA-simulated deploy targets: "fast" runs
-    # the trace-compiled vectorized simulator (bit-exact), "interp" the
-    # reference interpreter.
-    sim_mode: str = "fast"
+    # Simulation engine for the ISA-simulated deploy targets: "jit" runs
+    # exec-compiled block code with cross-frame batching, "fast" the
+    # trace-compiled closure simulator, "interp" the reference interpreter.
+    # All three are bit-exact.
+    sim_mode: str = "jit"
     # Task execution: "serial" (reference) or "process" (a
     # concurrent.futures worker pool of max_workers processes).  Every flow
     # unit is independently seeded, so both settings — and any worker count —
@@ -238,7 +239,7 @@ class FlowResult:
         frames: np.ndarray,
         targets: Sequence[str] = ("stm32", "ibex", "maupiti"),
         verify: bool = True,
-        sim_mode: str = "fast",
+        sim_mode: str = "jit",
         executor=None,
         max_workers: Optional[int] = None,
         cache=None,
@@ -251,8 +252,9 @@ class FlowResult:
         integer golden model first — the verification simulates the whole
         split in one batched call that doubles as the cycle measurement, so
         each frame is simulated only once.  ``sim_mode`` selects the
-        simulation engine for targets that support it (``"fast"`` is the
-        trace-compiled simulator, ``"interp"`` the reference interpreter).
+        simulation engine for targets that support it (``"jit"`` is the
+        exec-compiled batching simulator, ``"fast"`` the trace-compiled
+        closure simulator, ``"interp"`` the reference interpreter).
 
         The per-target compile+verify runs are independent task units: pass
         ``executor="process"`` (or an executor instance) to distribute them,

@@ -21,6 +21,12 @@ Two execution modes are available (``IbexCore(mode=...)``):
   kernels, and cycle/energy accounting is derived analytically from the
   same :class:`CycleModel`.  Registers, memory, cycle counts and
   per-mnemonic statistics are bit-exact against the interpreter.
+* ``"jit"`` (default for the deployment platforms) — the second-generation
+  tier of :mod:`repro.hw.sim.jit`: non-kernel blocks run as generated and
+  ``exec``-compiled straight-line Python instead of per-instruction
+  closures, and compiled templates are shared process-wide across engines
+  through :mod:`repro.hw.sim.trace_cache`.  Same bit-exactness contract as
+  ``"fast"``.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from .isa import BRANCHES, Instruction
 from .memory import Memory
 from .sdotp import sdotp4, sdotp8, to_signed, to_unsigned
 
-SIM_MODES = ("interp", "fast")
+SIM_MODES = ("interp", "fast", "jit")
 
 
 class SimulationError(Exception):
@@ -105,6 +111,9 @@ class IbexCore:
         # Compiled traces keyed by id(program); the program object itself is
         # kept alive in the value so a recycled id can never alias a trace.
         self._trace_cache: Dict[int, tuple] = {}
+        # JIT-mode bound programs, same keying/eviction discipline; the
+        # underlying templates live in the process-wide trace cache.
+        self._jit_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
@@ -126,6 +135,8 @@ class IbexCore:
         of the instruction memory, 4 bytes per slot) until ``ebreak``."""
         if self.mode == "fast":
             return self._run_fast(program, entry_pc)
+        if self.mode == "jit":
+            return self._run_jit(program, entry_pc)
         self.pc = entry_pc
         self.halted = False
         count_limit = self.max_instructions
@@ -172,6 +183,37 @@ class IbexCore:
         self._trace_cache[key] = cached
         self.halted = False
         self.pc = trace.run(
+            self.registers,
+            self.stats,
+            entry_pc=entry_pc,
+            max_instructions=self.max_instructions,
+        )
+        self.halted = True
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _run_jit(self, program: List[Instruction], entry_pc: int = 0) -> ExecutionStats:
+        """Execute through the JIT tier (:mod:`repro.hw.sim.jit`).
+
+        The memory-independent template comes from the process-wide trace
+        cache (shared across every engine compiling the same program); the
+        binding of that template to this core's memory is cached per
+        program object with the same revalidation discipline as fast mode.
+        """
+        from .sim.trace_cache import get_template  # deferred import cycle
+
+        key = id(program)
+        fingerprint = _program_fingerprint(program)
+        cached = self._jit_cache.pop(key, None)  # re-insert below: LRU order
+        if cached is None or cached[0] is not program or cached[1] != fingerprint:
+            if len(self._jit_cache) >= 8:
+                self._jit_cache.pop(next(iter(self._jit_cache)))
+            template = get_template(program, self.cycle_model, self.enable_sdotp)
+            cached = (program, fingerprint, template.bind(program, self.memory))
+        self._jit_cache[key] = cached
+        bound = cached[2]
+        self.halted = False
+        self.pc = bound.run(
             self.registers,
             self.stats,
             entry_pc=entry_pc,

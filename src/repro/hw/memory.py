@@ -105,6 +105,34 @@ class Memory:
         self.store_bytes(address, to_unsigned(value, 8).to_bytes(1, "little"))
 
     # ------------------------------------------------------------------ #
+    def clone(self, dmem_buffer=None) -> "Memory":
+        """Deep copy sharing region descriptors but not the byte contents.
+
+        Used by the batched simulator to give each frame its own memory
+        image; clones stay valid targets for the raw dmem views the JIT
+        binds because their buffers are never replaced, only mutated.
+
+        ``dmem_buffer`` may supply an external writable buffer (a
+        memoryview over a row of a shared numpy matrix) to back the
+        clone's dmem — the batched executor uses this so that one ``(F,
+        dmem_size)`` matrix holds every frame's data memory and kernel
+        gathers become zero-copy column slices.  The buffer must be
+        exactly ``dmem_size`` bytes; the current contents are copied in.
+        """
+        out = Memory.__new__(Memory)
+        out.regions = dict(self.regions)
+        out._data = {name: bytearray(data) for name, data in self._data.items()}
+        if dmem_buffer is not None:
+            dmem_buffer[:] = self._data["dmem"]
+            out._data["dmem"] = dmem_buffer
+        return out
+
+    def copy_from(self, other: "Memory") -> None:
+        """Adopt another memory's byte contents in place (regions must match)."""
+        for name, data in other._data.items():
+            self._data[name][:] = data
+
+    # ------------------------------------------------------------------ #
     def region_usage(self, name: str) -> int:
         """Highest initialized byte offset + 1 in a region (rough fill level)."""
         data = self._data[name]

@@ -34,7 +34,7 @@ class SmartSensorPlatform:
         spec: PlatformSpec = MAUPITI_SPEC,
         limits: Optional[PlatformLimits] = None,
         sensor_config: Optional[TmosArrayConfig] = None,
-        sim_mode: str = "fast",
+        sim_mode: str = "jit",
     ):
         self.spec = spec
         self.limits = limits or PlatformLimits()
@@ -79,11 +79,11 @@ class SmartSensorPlatform:
         return system_energy_per_frame_j(cycles, self.spec) * 1e6
 
 
-def maupiti_platform(sim_mode: str = "fast") -> SmartSensorPlatform:
+def maupiti_platform(sim_mode: str = "jit") -> SmartSensorPlatform:
     """The taped-out MAUPITI configuration (SDOTP enabled)."""
     return SmartSensorPlatform(spec=MAUPITI_SPEC, sim_mode=sim_mode)
 
 
-def ibex_platform(sim_mode: str = "fast") -> SmartSensorPlatform:
+def ibex_platform(sim_mode: str = "jit") -> SmartSensorPlatform:
     """The same chip with the custom instructions disabled (baseline)."""
     return SmartSensorPlatform(spec=IBEX_SPEC, sim_mode=sim_mode)

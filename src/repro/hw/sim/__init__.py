@@ -20,17 +20,33 @@ Adding a new recognized kernel:
 """
 
 from .blocks import BasicBlock, build_blocks
-from .decode import Decoded, decode_program
+from .decode import Decoded, decode_meta, decode_program
+from .jit import JitProgram, JitTemplate
 from .kernels import KernelLoop, recognize_loop
 from .simulator import TraceProgram, compile_trace
+from .trace_cache import (
+    TraceCache,
+    cache_stats,
+    clear_trace_cache,
+    get_template,
+    set_trace_cache_capacity,
+)
 
 __all__ = [
     "BasicBlock",
     "Decoded",
+    "JitProgram",
+    "JitTemplate",
     "KernelLoop",
+    "TraceCache",
     "TraceProgram",
     "build_blocks",
+    "cache_stats",
+    "clear_trace_cache",
     "compile_trace",
+    "decode_meta",
     "decode_program",
+    "get_template",
     "recognize_loop",
+    "set_trace_cache_capacity",
 ]

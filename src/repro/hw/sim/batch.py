@@ -1,0 +1,148 @@
+"""Cross-frame batched execution: one trace walk drives N frames.
+
+``deploy.simulate_batch`` used to replay the compiled trace once per frame.
+The programs codegen emits are *control-flow uniform* across frames for
+everything that matters for speed: loop trip counts (rows, columns,
+channels, taps) are compile-time constants, so every frame visits the same
+kernel blocks in the same order, only the data differs.  This module
+exploits that: all frames advance in lockstep from kernel block to kernel
+block through their generated JIT code, and each kernel dispatch executes
+**one multi-frame numpy op** (``KernelLoop.make_run_many``) over a stacked
+``(frames, bytes)`` matrix instead of one tiny numpy call per frame.
+
+Data-dependent branches (requantization clamps, maxpool compares, argmax)
+do exist — they are glue-block-internal and frame-local, handled by each
+frame's generated block functions between kernel parks.  Whenever the
+lockstep assumption is violated — frames park at different kernels, halt in
+different rounds, or any frame faults — :class:`BatchDivergence` (or the
+original exception) propagates to the caller, which re-runs the batch
+through the sequential path.  That fallback is always safe: every frame
+executes against its own **clone** of the platform memory, so a failed
+batched attempt leaves the platform untouched.
+
+Sequential-equivalence note: a sequential run carries memory state from
+frame to frame, while the batch gives each frame a clone of the *initial*
+(model-loaded) memory.  The two agree because compiled models write every
+activation they read per frame (the pad ring is constant, weights are
+read-only); the bit-exactness parity suite asserts this agreement on every
+scheme and both deployment targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core import ExecutionStats
+from ..cycles import CycleModel
+from ..isa import Instruction
+from ..memory import Memory
+from .trace_cache import get_template
+
+
+class BatchDivergence(Exception):
+    """Frames left control-flow lockstep; the caller must run sequentially."""
+
+
+@dataclass
+class FrameOutcome:
+    """Final architectural state of one frame of a successful batched run."""
+
+    regs: List[int]
+    final_pc: int
+    stats: ExecutionStats
+    memory: Memory
+
+
+def run_batch(
+    memory: Memory,
+    program: List[Instruction],
+    payloads: Sequence[bytes],
+    buf_address: int,
+    cycle_model: CycleModel,
+    enable_sdotp: bool,
+    max_instructions: int,
+) -> List[FrameOutcome]:
+    """Run ``program`` once per payload, batching kernel calls across frames.
+
+    ``memory`` is the platform memory with the model image already loaded;
+    it is only cloned, never mutated.  Each frame starts from a fresh
+    register file and its own memory clone with ``payloads[i]`` written to
+    the input buffer, exactly like a sequential ``reset(); run()`` pair.
+
+    Raises :class:`BatchDivergence` (or whatever a frame raised) when the
+    batch cannot complete in lockstep; nothing is committed in that case.
+    """
+    template = get_template(program, cycle_model, enable_sdotp)
+    n_frames = len(payloads)
+    # One contiguous (frames, dmem_size) matrix backs every clone's dmem so
+    # that batched kernel gathers are zero-copy column slices of `dmem_mat`
+    # instead of per-call np.stack allocations (see kernels._make_gather).
+    dmem_size = memory.regions["dmem"].size
+    dmem_mat = np.empty((n_frames, dmem_size), dtype=np.uint8)
+    mems: List[Memory] = []
+    bound = []
+    states = []
+    stats_list: List[ExecutionStats] = []
+    for idx, payload in enumerate(payloads):
+        m = memory.clone(dmem_buffer=dmem_mat[idx].data)
+        m.store_bytes(buf_address, payload)
+        jp = template.bind(program, m)
+        stats = ExecutionStats()
+        mems.append(m)
+        bound.append(jp)
+        states.append(jp.start([0] * 32, stats, 0, max_instructions))
+        stats_list.append(stats)
+
+    run_many_cache: dict = {}
+    frames = range(n_frames)
+    while True:
+        events = [
+            bound[i].advance(states[i], stats_list[i], stop_at_kernel=True)
+            for i in frames
+        ]
+        done = sum(1 for e in events if e == "done")
+        if done == n_frames:
+            break
+        if done:
+            raise BatchDivergence("frames halted out of lockstep")
+        pc0 = states[0].pc
+        if any(states[i].pc != pc0 for i in frames):
+            raise BatchDivergence("frames parked at different kernel blocks")
+        _, _, _, kipi, kexit, kslot, _, bi, kaux = bound[0].entries[pc0]
+        rm = run_many_cache.get(pc0)
+        if rm is None:
+            rm = template.blocks[bi].kernel.make_run_many(mems)
+            run_many_cache[pc0] = rm
+        if kaux >= 0:
+            iters, extras = rm(
+                [st.regs for st in states], [st.cnt for st in states], kaux
+            )
+        else:
+            iters = rm([st.regs for st in states])
+            extras = None
+        if iters:
+            for i in frames:
+                st = states[i]
+                st.cnt[kslot] += iters
+                st.cnt[kslot + 1] += 1
+                st.executed += kipi * iters + (
+                    extras[i] if extras is not None else 0
+                )
+                if st.executed > st.budget:
+                    raise bound[i]._limit_error(st, stats_list[i])
+                st.pc = kexit
+        else:
+            # Registers not uniform (or span outside dmem): run this kernel
+            # block per frame; lockstep resumes if control flow agrees.
+            for i in frames:
+                bound[i].kernel_step(states[i], stats_list[i])
+
+    for i in frames:
+        bound[i].finish(states[i], stats_list[i])
+    return [
+        FrameOutcome(states[i].regs, states[i].final_pc, stats_list[i], mems[i])
+        for i in frames
+    ]

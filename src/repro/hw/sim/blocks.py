@@ -85,9 +85,14 @@ class BasicBlock:
 
 
 def build_blocks(
-    decoded: List[Decoded], memory: Memory, cycle_model
+    decoded: List[Decoded], memory: Optional[Memory], cycle_model
 ) -> List[BasicBlock]:
-    """Split ``decoded`` into basic blocks and attach kernel handlers."""
+    """Split ``decoded`` into basic blocks and attach kernel handlers.
+
+    ``memory`` may be ``None`` for a template build (see
+    :mod:`repro.hw.sim.jit`): kernels are then recognized but left unbound
+    (``kernel.run is None``) and must be bound via ``kernel.make_run``.
+    """
     n = len(decoded)
     if n == 0:  # the simulator's fallback path reports the bad pc itself
         return []
@@ -127,7 +132,9 @@ def build_blocks(
     return blocks
 
 
-def _attach_superloops(blocks: List[BasicBlock], memory: Memory, cycle_model) -> None:
+def _attach_superloops(
+    blocks: List[BasicBlock], memory: Optional[Memory], cycle_model
+) -> None:
     """Fuse ``entry -> inner-loop -> exit`` block triples into one kernel.
 
     For every vectorized SDOTP inner loop, look for the enclosing conv tap

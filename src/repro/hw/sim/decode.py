@@ -256,13 +256,17 @@ def _compile_straight(
     return op
 
 
-def decode_program(
+def decode_meta(
     program: List[Instruction],
-    memory: Memory,
     cycle_model,
-    enable_sdotp: bool,
 ) -> List[Decoded]:
-    """Pre-decode every instruction of ``program`` into a :class:`Decoded`."""
+    """Memory-independent pre-decode: kinds, costs, pcs and branch conditions.
+
+    The resulting :class:`Decoded` objects carry no executable ``op``
+    closures (those bind a concrete :class:`~repro.hw.memory.Memory`); the
+    JIT template builder uses this form to construct basic blocks and
+    generated source that can be shared across engines and memories.
+    """
     decoded: List[Decoded] = []
     for index, instr in enumerate(program):
         d = Decoded(instr, index)
@@ -282,6 +286,19 @@ def decode_program(
         else:
             d.kind = STRAIGHT
             d.cost = cycle_model.cost(instr)
-            d.op = _compile_straight(instr, index, memory, enable_sdotp)
         decoded.append(d)
+    return decoded
+
+
+def decode_program(
+    program: List[Instruction],
+    memory: Memory,
+    cycle_model,
+    enable_sdotp: bool,
+) -> List[Decoded]:
+    """Pre-decode every instruction of ``program`` into a :class:`Decoded`."""
+    decoded = decode_meta(program, cycle_model)
+    for index, d in enumerate(decoded):
+        if d.kind == STRAIGHT:
+            d.op = _compile_straight(d.instr, index, memory, enable_sdotp)
     return decoded

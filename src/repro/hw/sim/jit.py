@@ -1,0 +1,808 @@
+"""Second-generation JIT tier: basic blocks compiled to Python source.
+
+The fast simulator (:mod:`repro.hw.sim.simulator`) executes non-kernel
+blocks as a list of per-instruction closures — every instruction still pays
+a Python call plus a list walk.  This module instead *generates specialized
+straight-line Python source* for each basic block (registers as locals,
+immediates and static pcs folded into literals, memory accesses inlined
+against raw dmem views) and ``compile()``/``exec()``s it once, so a block
+execution is a single function call.
+
+The compiled artifact is split in two:
+
+* :class:`JitTemplate` — **memory-independent**: decoded blocks, recognized
+  kernel loops (unbound), the generated module source and its compiled code
+  object, plus the per-block statistics metadata.  Templates are immutable
+  after construction and safe to share across threads and engines; the
+  process-wide :mod:`repro.hw.sim.trace_cache` stores exactly these.
+* :class:`JitProgram` — a template **bound** to one
+  :class:`~repro.hw.memory.Memory`: ``exec`` of the code object binds the
+  inlined load/store helpers to that memory's dmem bytearray, and each
+  kernel loop gets its ``run`` closure from ``make_run(mem)``.  Binding is
+  cheap (one ``exec`` of an already-compiled module, no re-decode).
+
+Execution strategy per block, fastest first: recognized kernel loop (one
+numpy op for the whole remaining trip count) → generated block function →
+per-instruction closure fallback for any pc that is not a block leader
+(``jalr`` into a block interior, misaligned pcs).  Statistics are counted
+per block execution in a flat per-run counter list (two slots per block:
+executions and branches-taken; two more per kernel block: iterations and
+vectorized calls) and scaled analytically once at the end of the run, so a
+shared template is never mutated and concurrent runs cannot race.
+
+How a block becomes generated code
+----------------------------------
+
+A block like ``lw a5, 0(a2); addi a2, a2, 4; add a4, a4, a5;
+bne a2, a3, -12`` compiles to::
+
+    def _b7(regs, cnt, _lwu=_lwu):
+        r12 = regs[12]; r14 = regs[14]; r13 = regs[13]
+        r15 = _lwu(r12)
+        r12 = (r12 + 4) & 0xFFFFFFFF
+        r14 = (r14 + r15) & 0xFFFFFFFF
+        regs[12] = r12; regs[14] = r14; regs[15] = r15
+        cnt[14] += 1
+        if r12 != r13:
+            cnt[15] += 1
+            return 28
+        return 40
+
+Registers live in locals, the branch targets are literals, and the function
+returns the next pc (``None`` for an ``ebreak`` halt — a pc can legally be
+negative through ``jalr``, so no numeric sentinel is safe).  ``_lwu`` is a
+bound fast-path accessor: a direct slice of the dmem bytearray when the
+address lands in dmem, the full bounds-checked
+:meth:`~repro.hw.memory.Memory.load_word` otherwise — faults keep their
+exact type and message.
+
+Accepted divergence semantics (carried over from the fast simulator): when
+a program dies *mid-loop* — an out-of-bounds access inside a vectorized
+kernel or a generated block, or blowing the instruction limit — the JIT
+raises the same exception type as the interpreter but may leave partial
+architectural state and counters behind, because whole blocks and loops are
+committed atomically.  Completed runs are bit-exact in registers, memory,
+final pc, cycles and per-mnemonic statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional
+
+from ..core import ExecutionStats, SimulationError
+from ..cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from ..isa import Instruction
+from ..memory import Memory
+from ..sdotp import sdotp4, sdotp8
+from .blocks import BasicBlock, build_blocks
+from .kernels import attach_channel_superloops
+from .decode import (
+    BRANCH,
+    EBREAK,
+    JAL,
+    JALR,
+    MASK,
+    STRAIGHT,
+    _sx,
+    decode_meta,
+    decode_program,
+)
+
+
+class JitCodegenError(Exception):
+    """A block the source generator cannot express (falls back to closures)."""
+
+
+def _nosd(mnemonic: str):
+    raise SimulationError(
+        f"{mnemonic} executed on a core without the SDOTP extension"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Source generation
+# --------------------------------------------------------------------------- #
+_BRANCH_OPS = {
+    "beq": ("==", False),
+    "bne": ("!=", False),
+    "blt": ("<", True),
+    "bge": (">=", True),
+    "bltu": ("<", False),
+    "bgeu": (">=", False),
+}
+
+
+def _generate_block(
+    block: BasicBlock, name: str, eslot: int, enable_sdotp: bool
+) -> str:
+    """Emit the source of one block function ``name(regs, cnt)``.
+
+    The function returns the next pc as an int, or ``None`` on ``ebreak``;
+    execution/taken counters are bumped through the flat ``cnt`` list.
+    """
+    reads: List[int] = []
+    seen = set()
+    written = set()
+    helpers = set()
+    body_lines: List[str] = []
+
+    def use(r: int) -> str:
+        if r == 0:
+            return "0"
+        if r not in seen:
+            seen.add(r)
+            reads.append(r)
+        return f"r{r}"
+
+    def lhs(r: int) -> str:
+        seen.add(r)
+        written.add(r)
+        return f"r{r}"
+
+    def addr(a: int, imm: int) -> str:
+        if a == 0:
+            return str(imm)
+        if imm == 0:
+            return use(a)
+        return f"{use(a)} + {imm}"
+
+    def emit(d) -> None:
+        instr = d.instr
+        m = instr.mnemonic
+        rd, a, b, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        uimm = imm & MASK
+        if m in ("sdotp8", "sdotp4"):
+            if not enable_sdotp:
+                helpers.add("_nosd")
+                body_lines.append(f"_nosd({m!r})")
+                return
+            if rd == 0:
+                return
+            h = "_sd8" if m == "sdotp8" else "_sd4"
+            helpers.add(h)
+            rhs = f"{h}({use(a)}, {use(b)}, {use(rd)})"
+            body_lines.append(f"{lhs(rd)} = {rhs}")
+            return
+        loads = {"lw": "_lwu", "lh": "_lhs", "lhu": "_lhu", "lb": "_lbs", "lbu": "_lbu"}
+        if m in loads:
+            h = loads[m]
+            helpers.add(h)
+            rhs = f"{h}({addr(a, imm)})"
+            # Loads keep their side effects (bounds checks) even for x0.
+            body_lines.append(rhs if rd == 0 else f"{lhs(rd)} = {rhs}")
+            return
+        stores = {"sw": "_sw", "sh": "_sh", "sb": "_sb"}
+        if m in stores:
+            h = stores[m]
+            helpers.add(h)
+            body_lines.append(f"{h}({addr(a, imm)}, {use(b)})")
+            return
+        if rd == 0:  # remaining instructions only write a register
+            return
+        if m == "div":
+            helpers.add("_sx")
+            body_lines.append(f"_a = _sx({use(a)}); _b = _sx({use(b)})")
+            body_lines.append(
+                f"{lhs(rd)} = 0xFFFFFFFF if _b == 0 else int(_a / _b) & 0xFFFFFFFF"
+            )
+            return
+        if m == "rem":
+            helpers.add("_sx")
+            body_lines.append(f"_a = _sx({use(a)}); _b = _sx({use(b)})")
+            body_lines.append(
+                f"{lhs(rd)} = _a & 0xFFFFFFFF if _b == 0 "
+                "else (_a - int(_a / _b) * _b) & 0xFFFFFFFF"
+            )
+            return
+        if m == "add":
+            # Register values are invariantly masked, so x0 operands fold away.
+            if a == 0:
+                rhs = use(b)
+            elif b == 0:
+                rhs = use(a)
+            else:
+                rhs = f"({use(a)} + {use(b)}) & 0xFFFFFFFF"
+        elif m == "sub":
+            rhs = f"({use(a)} - {use(b)}) & 0xFFFFFFFF"
+        elif m == "and":
+            rhs = f"{use(a)} & {use(b)}"
+        elif m == "or":
+            rhs = f"{use(a)} | {use(b)}"
+        elif m == "xor":
+            rhs = f"{use(a)} ^ {use(b)}"
+        elif m == "sll":
+            rhs = f"({use(a)} << ({use(b)} & 31)) & 0xFFFFFFFF"
+        elif m == "srl":
+            rhs = f"{use(a)} >> ({use(b)} & 31)"
+        elif m == "sra":
+            helpers.add("_sx")
+            rhs = f"(_sx({use(a)}) >> ({use(b)} & 31)) & 0xFFFFFFFF"
+        elif m == "slt":
+            helpers.add("_sx")
+            rhs = f"int(_sx({use(a)}) < _sx({use(b)}))"
+        elif m == "sltu":
+            rhs = f"int({use(a)} < {use(b)})"
+        elif m == "mul":
+            rhs = f"({use(a)} * {use(b)}) & 0xFFFFFFFF"
+        elif m == "mulh":
+            helpers.add("_sx")
+            rhs = f"((_sx({use(a)}) * _sx({use(b)})) >> 32) & 0xFFFFFFFF"
+        elif m == "addi":
+            rhs = str(uimm) if a == 0 else f"({use(a)} + {imm}) & 0xFFFFFFFF"
+        elif m == "andi":
+            rhs = f"{use(a)} & {uimm}"
+        elif m == "ori":
+            rhs = f"{use(a)} | {uimm}"
+        elif m == "xori":
+            rhs = f"{use(a)} ^ {uimm}"
+        elif m == "slti":
+            helpers.add("_sx")
+            rhs = f"int(_sx({use(a)}) < {imm})"
+        elif m == "sltiu":
+            rhs = f"int({use(a)} < {uimm})"
+        elif m == "slli":
+            rhs = f"({use(a)} << {imm & 31}) & 0xFFFFFFFF"
+        elif m == "srli":
+            rhs = f"{use(a)} >> {imm & 31}"
+        elif m == "srai":
+            helpers.add("_sx")
+            rhs = f"(_sx({use(a)}) >> {imm & 31}) & 0xFFFFFFFF"
+        elif m == "lui":
+            rhs = str(uimm)
+        elif m == "auipc":
+            rhs = str((d.pc + imm) & MASK)
+        else:
+            raise JitCodegenError(f"unsupported mnemonic {m}")
+        body_lines.append(f"{lhs(rd)} = {rhs}")
+
+    term = block.term
+    body = block.decoded if term is None else block.decoded[:-1]
+    for d in body:
+        emit(d)
+
+    tail: List[str] = []
+    if term is None:
+        tail.append(f"return {block.end_pc}")
+    elif term.kind == BRANCH:
+        op, signed = _BRANCH_OPS[term.mnemonic]
+        a, b = term.instr.rs1, term.instr.rs2
+        if signed:
+            helpers.add("_sx")
+            cond = f"_sx({use(a)}) {op} _sx({use(b)})"
+        else:
+            cond = f"{use(a)} {op} {use(b)}"
+        tail.append(f"if {cond}:")
+        tail.append(f"    cnt[{eslot + 1}] += 1")
+        tail.append(f"    return {term.taken_pc}")
+        tail.append(f"return {block.end_pc}")
+    elif term.kind == JAL:
+        if term.rd:
+            tail.append(f"regs[{term.rd}] = {(term.pc + 4) & MASK}")
+        tail.append(f"return {term.taken_pc}")
+    elif term.kind == JALR:
+        a = term.instr.rs1
+        target = str(term.imm & -2) if a == 0 else f"({use(a)} + {term.imm}) & -2"
+        tail.append(f"_t = {target}")
+        if term.rd:
+            tail.append(f"regs[{term.rd}] = {(term.pc + 4) & MASK}")
+        tail.append("return _t")
+    elif term.kind == EBREAK:
+        tail.append("return None")
+    else:  # pragma: no cover - decode emits no other kinds
+        raise JitCodegenError(f"unsupported terminator kind {term.kind}")
+
+    params = "".join(f", {h}={h}" for h in sorted(helpers))
+    lines = [f"def {name}(regs, cnt{params}):"]
+    if reads:
+        lines.append("    " + "; ".join(f"r{r} = regs[{r}]" for r in reads))
+    for ln in body_lines:
+        lines.append("    " + ln)
+    wb = sorted(written)
+    if wb:
+        # Terminators write links straight to ``regs`` *after* this point,
+        # matching the interpreter's jalr ordering (target before link).
+        lines.append("    " + "; ".join(f"regs[{r}] = r{r}" for r in wb))
+    lines.append(f"    cnt[{eslot}] += 1")
+    for ln in tail:
+        lines.append("    " + ln)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Memory helper binding
+# --------------------------------------------------------------------------- #
+def _bind_helpers(memory: Memory) -> Dict[str, Callable]:
+    """Fast-path dmem accessors with slow bounds-checked fallbacks.
+
+    The fast path slices the dmem bytearray directly; anything outside dmem
+    (imem, otp, out-of-bounds) routes through the ordinary ``Memory``
+    accessors so faults keep their exact type and message.
+    """
+    region = memory.regions["dmem"]
+    data = memory._data["dmem"]
+    base = region.base
+    size = region.size
+    lw, lh, lb = memory.load_word, memory.load_half, memory.load_byte
+    sw, sh, sb = memory.store_word, memory.store_half, memory.store_byte
+
+    def _lwu(a, _d=data, _b=base, _n=size - 3, _s=lw):
+        o = a - _b
+        if 0 <= o < _n:
+            return int.from_bytes(_d[o:o + 4], "little")
+        return _s(a, False)
+
+    def _lhu(a, _d=data, _b=base, _n=size - 1, _s=lh):
+        o = a - _b
+        if 0 <= o < _n:
+            return int.from_bytes(_d[o:o + 2], "little")
+        return _s(a, False)
+
+    def _lhs(a, _d=data, _b=base, _n=size - 1, _s=lh):
+        o = a - _b
+        if 0 <= o < _n:
+            v = int.from_bytes(_d[o:o + 2], "little")
+            return v | 0xFFFF0000 if v & 0x8000 else v
+        return _s(a, True) & 0xFFFFFFFF
+
+    def _lbu(a, _d=data, _b=base, _n=size, _s=lb):
+        o = a - _b
+        if 0 <= o < _n:
+            return _d[o]
+        return _s(a, False)
+
+    def _lbs(a, _d=data, _b=base, _n=size, _s=lb):
+        o = a - _b
+        if 0 <= o < _n:
+            v = _d[o]
+            return v | 0xFFFFFF00 if v & 0x80 else v
+        return _s(a, True) & 0xFFFFFFFF
+
+    def _sw(a, v, _d=data, _b=base, _n=size - 3, _s=sw):
+        o = a - _b
+        if 0 <= o < _n:
+            _d[o:o + 4] = v.to_bytes(4, "little")
+        else:
+            _s(a, v)
+
+    def _sh(a, v, _d=data, _b=base, _n=size - 1, _s=sh):
+        o = a - _b
+        if 0 <= o < _n:
+            _d[o:o + 2] = (v & 0xFFFF).to_bytes(2, "little")
+        else:
+            _s(a, v)
+
+    def _sb(a, v, _d=data, _b=base, _n=size, _s=sb):
+        o = a - _b
+        if 0 <= o < _n:
+            _d[o] = v & 0xFF
+        else:
+            _s(a, v)
+
+    return {
+        "_lwu": _lwu, "_lhu": _lhu, "_lhs": _lhs, "_lbu": _lbu, "_lbs": _lbs,
+        "_sw": _sw, "_sh": _sh, "_sb": _sb,
+        "_sx": _sx, "_sd8": sdotp8, "_sd4": sdotp4, "_nosd": _nosd,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Template (shared, immutable) and bound program
+# --------------------------------------------------------------------------- #
+class JitTemplate:
+    """A program compiled to generated block functions, memory-independent.
+
+    Immutable after construction; safe to share across engines and threads.
+    Per-run mutable state (execution counters) lives in a flat list owned by
+    each run, never on the template.
+    """
+
+    def __init__(
+        self,
+        program: List[Instruction],
+        cycle_model: Optional[CycleModel],
+        enable_sdotp: bool,
+    ):
+        cycle_model = cycle_model or DEFAULT_CYCLE_MODEL
+        self.cycle_model = cycle_model
+        self.enable_sdotp = enable_sdotp
+        self.n_instr = len(program)
+        decoded = decode_meta(program, cycle_model)
+        self.blocks = build_blocks(decoded, None, cycle_model)
+        # The whole-channel superloops are a JIT-tier-only upgrade: the
+        # closure-based fast simulator keeps the per-tap kernel protocol.
+        attach_channel_superloops(self.blocks, program, cycle_model)
+        # Flat counter-slot layout: [execs, taken] per block, plus
+        # [iterations, vectorized calls] (and one hit counter per aux side
+        # path) per kernel block.
+        self.eslots: List[int] = []
+        self.kslots: List[int] = []
+        slot = 0
+        for b in self.blocks:
+            self.eslots.append(slot)
+            slot += 2
+            if b.kernel is not None:
+                self.kslots.append(slot)
+                slot += 2 + len(b.kernel.aux)
+            else:
+                self.kslots.append(-1)
+        self.n_slots = slot
+        self.closure_blocks: List[int] = []
+        chunks = ["# Generated by repro.hw.sim.jit -- one function per basic block."]
+        names = []
+        for i, b in enumerate(self.blocks):
+            name = f"_b{i}"
+            names.append(name)
+            try:
+                chunks.append(
+                    _generate_block(b, name, self.eslots[i], enable_sdotp)
+                )
+            except JitCodegenError:
+                self.closure_blocks.append(i)
+                chunks.append(f"{name} = None  # closure fallback")
+        chunks.append("_FNS = [" + ", ".join(names) + "]")
+        self.source = "\n\n\n".join(chunks) + "\n"
+        self.fingerprint = hashlib.sha256(self.source.encode()).hexdigest()[:12]
+        self.code = compile(self.source, f"<repro-jit-{self.fingerprint}>", "exec")
+
+    # ------------------------------------------------------------------ #
+    def bind(self, program: List[Instruction], memory: Memory) -> "JitProgram":
+        return JitProgram(self, program, memory)
+
+    def vectorized_labels(self):
+        return {b.label for b in self.blocks if b.kernel is not None and b.label}
+
+    def kernel_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for b in self.blocks:
+            if b.kernel is not None:
+                out[b.kernel.kind] = out.get(b.kernel.kind, 0) + 1
+        return out
+
+    def block_tallies(self) -> Dict[str, int]:
+        """JIT/closure/kernel block coverage for reports and diagnostics."""
+        kernel = sum(1 for b in self.blocks if b.kernel is not None)
+        closure = len(self.closure_blocks)
+        return {
+            "total": len(self.blocks),
+            "kernel": kernel,
+            "jit": len(self.blocks) - closure,
+            "closure": closure,
+        }
+
+    # ------------------------------------------------------------------ #
+    def commit(
+        self,
+        stats: ExecutionStats,
+        cnt: List[int],
+        slow_instr: int,
+        slow_cycles: int,
+        slow_counts: Dict[str, int],
+    ) -> None:
+        """Scale a run's flat counters into exact aggregate statistics."""
+        cm = self.cycle_model
+        bt, bnt = cm.branch_taken, cm.branch_not_taken
+        total_instr = slow_instr
+        total_cycles = slow_cycles
+        merged: Dict[str, int] = dict(slow_counts)
+        for i, b in enumerate(self.blocks):
+            execs = cnt[self.eslots[i]]
+            if execs:
+                total_instr += execs * b.n
+                cycles = execs * b.straight_cycles
+                if b.term is not None and b.term.kind == BRANCH:
+                    taken = cnt[self.eslots[i] + 1]
+                    cycles += taken * bt + (execs - taken) * bnt
+                else:
+                    cycles += execs * b.term_cost
+                total_cycles += cycles
+                for m, c in b.counts.items():
+                    merged[m] = merged.get(m, 0) + execs * c
+            ks = self.kslots[i]
+            if ks >= 0 and cnt[ks]:
+                k = b.kernel
+                iters, calls = cnt[ks], cnt[ks + 1]
+                total_instr += iters * k.instrs_per_iter
+                # Each vectorized call runs its loop to completion: the
+                # back-branch is taken on all but the final iteration.
+                total_cycles += (
+                    iters * k.straight_cycles_per_iter
+                    + (iters - calls) * bt
+                    + calls * bnt
+                )
+                for m, c in k.counts_per_iter.items():
+                    merged[m] = merged.get(m, 0) + iters * c
+                for j, (a_instrs, a_cycles, a_counts) in enumerate(k.aux):
+                    hits = cnt[ks + 2 + j]
+                    if hits:
+                        total_instr += hits * a_instrs
+                        total_cycles += hits * a_cycles
+                        for m, c in a_counts.items():
+                            merged[m] = merged.get(m, 0) + hits * c
+        stats.record_block(total_instr, total_cycles, merged)
+
+
+class _RunState:
+    """Mutable per-run execution state (one per frame in batched mode)."""
+
+    __slots__ = (
+        "regs",
+        "cnt",
+        "pc",
+        "executed",
+        "budget",
+        "max_instructions",
+        "slow_instr",
+        "slow_cycles",
+        "slow_counts",
+        "final_pc",
+    )
+
+
+class JitProgram:
+    """A :class:`JitTemplate` bound to one concrete memory."""
+
+    def __init__(
+        self, template: JitTemplate, program: List[Instruction], memory: Memory
+    ):
+        self.template = template
+        self.program = program
+        self.memory = memory
+        g: Dict[str, object] = {"__name__": f"repro_jit_{template.fingerprint}"}
+        g.update(_bind_helpers(memory))
+        exec(template.code, g)
+        fns = g["_FNS"]
+        self._decoded = None  # lazy per-instruction closures (fallback paths)
+        entries: Dict[int, tuple] = {}
+        for i, b in enumerate(template.blocks):
+            kernel = b.kernel
+            krun = kernel.make_run(memory) if kernel is not None else None
+            kexit = (
+                kernel.exit_pc
+                if kernel is not None and kernel.exit_pc is not None
+                else b.end_pc
+            )
+            kipi = kernel.instrs_per_iter if kernel is not None else 0
+            kaux = (
+                template.kslots[i] + 2
+                if kernel is not None and kernel.wants_cnt
+                else -1
+            )
+            fpc = b.term.pc if b.term is not None and b.term.kind == EBREAK else -1
+            entries[b.pc] = (
+                fns[i], b.n, krun, kipi, kexit, template.kslots[i], fpc, i, kaux
+            )
+        self.entries = entries
+
+    # ------------------------------------------------------------------ #
+    def _fallback_decoded(self):
+        if self._decoded is None:
+            t = self.template
+            self._decoded = decode_program(
+                self.program, self.memory, t.cycle_model, t.enable_sdotp
+            )
+        return self._decoded
+
+    def _run_closure_block(self, bi: int, regs: List[int], cnt: List[int]):
+        """Execute a block the source generator declined, via closures."""
+        t = self.template
+        b = t.blocks[bi]
+        decoded = self._fallback_decoded()
+        span = decoded[b.start : b.start + b.n]
+        term = span[-1] if b.term is not None else None
+        for d in (span[:-1] if term is not None else span):
+            if d.op is not None:
+                d.op(regs)
+        eslot = t.eslots[bi]
+        cnt[eslot] += 1
+        if term is None:
+            return b.end_pc
+        kind = term.kind
+        if kind == BRANCH:
+            if term.cond(regs):
+                cnt[eslot + 1] += 1
+                return term.taken_pc
+            return b.end_pc
+        if kind == JAL:
+            if term.rd:
+                regs[term.rd] = (term.pc + 4) & MASK
+            return term.taken_pc
+        if kind == JALR:
+            target = (regs[term.rs1] + term.imm) & ~1
+            if term.rd:
+                regs[term.rd] = (term.pc + 4) & MASK
+            return target
+        return None  # EBREAK
+
+    # ------------------------------------------------------------------ #
+    def start(
+        self,
+        regs: List[int],
+        stats: ExecutionStats,
+        entry_pc: int,
+        max_instructions: int,
+    ) -> _RunState:
+        st = _RunState()
+        st.regs = regs
+        st.cnt = [0] * self.template.n_slots
+        st.pc = entry_pc
+        st.executed = 0
+        st.budget = max_instructions - stats.instructions
+        st.max_instructions = max_instructions
+        st.slow_instr = 0
+        st.slow_cycles = 0
+        st.slow_counts = {}
+        st.final_pc = None
+        return st
+
+    def finish(self, st: _RunState, stats: ExecutionStats) -> None:
+        self.template.commit(
+            stats, st.cnt, st.slow_instr, st.slow_cycles, st.slow_counts
+        )
+
+    def _limit_error(self, st: _RunState, stats: ExecutionStats) -> SimulationError:
+        self.finish(st, stats)
+        return SimulationError(
+            f"instruction limit exceeded ({st.max_instructions}); "
+            "runaway program?"
+        )
+
+    # ------------------------------------------------------------------ #
+    def advance(
+        self,
+        st: _RunState,
+        stats: ExecutionStats,
+        stop_at_kernel: bool = False,
+    ) -> str:
+        """Run until halt (``"done"``) or, with ``stop_at_kernel``, until the
+        pc lands on a kernel block without executing it (``"kernel"``)."""
+        t = self.template
+        entries = self.entries
+        regs = st.regs
+        cnt = st.cnt
+        pc = st.pc
+        executed = st.executed
+        budget = st.budget
+        cm = t.cycle_model
+        bt, bnt = cm.branch_taken, cm.branch_not_taken
+        n_instr = t.n_instr
+        decoded = None
+
+        while True:
+            e = entries.get(pc)
+            if e is None:
+                # -------------- single-step closure fallback -------------- #
+                if decoded is None:
+                    decoded = self._fallback_decoded()
+                index = pc // 4
+                if not 0 <= index < n_instr:
+                    st.pc, st.executed = pc, executed
+                    self.finish(st, stats)
+                    raise SimulationError(f"PC 0x{pc:08x} outside the program")
+                d = decoded[index]
+                kind = d.kind
+                m = d.mnemonic
+                if kind == STRAIGHT:
+                    if m == "auipc":
+                        # The closure is specialized on the aligned static
+                        # address; at a misaligned pc use the live one.
+                        if d.rd:
+                            regs[d.rd] = (pc + d.imm) & MASK
+                    elif d.op is not None:
+                        d.op(regs)
+                    st.slow_cycles += d.cost
+                    pc += 4
+                elif kind == BRANCH:
+                    if d.cond(regs):
+                        st.slow_cycles += bt
+                        pc += d.imm
+                    else:
+                        st.slow_cycles += bnt
+                        pc += 4
+                elif kind == JAL:
+                    if d.rd:
+                        regs[d.rd] = (pc + 4) & MASK
+                    st.slow_cycles += d.cost
+                    pc += d.imm
+                elif kind == JALR:
+                    target = (regs[d.rs1] + d.imm) & ~1
+                    if d.rd:
+                        regs[d.rd] = (pc + 4) & MASK
+                    st.slow_cycles += d.cost
+                    pc = target
+                else:  # EBREAK
+                    st.slow_cycles += d.cost
+                    st.final_pc = pc
+                st.slow_counts[m] = st.slow_counts.get(m, 0) + 1
+                st.slow_instr += 1
+                executed += 1
+                if executed > budget:
+                    st.pc, st.executed = pc, executed
+                    raise self._limit_error(st, stats)
+                if st.final_pc is not None:
+                    st.pc, st.executed = pc, executed
+                    return "done"
+                continue
+
+            fn, n, krun, kipi, kexit, kslot, fpc, bi, kaux = e
+            if krun is not None:
+                if stop_at_kernel:
+                    st.pc, st.executed = pc, executed
+                    return "kernel"
+                if kaux >= 0:
+                    iters, extra = krun(regs, cnt, kaux)
+                else:
+                    iters = krun(regs)
+                    extra = 0
+                if iters:
+                    cnt[kslot] += iters
+                    cnt[kslot + 1] += 1
+                    executed += kipi * iters + extra
+                    if executed > budget:
+                        st.pc, st.executed = pc, executed
+                        raise self._limit_error(st, stats)
+                    pc = kexit
+                    continue
+            npc = (
+                fn(regs, cnt)
+                if fn is not None
+                else self._run_closure_block(bi, regs, cnt)
+            )
+            executed += n
+            if executed > budget:
+                st.pc, st.executed = pc, executed
+                raise self._limit_error(st, stats)
+            if npc is None:
+                st.pc = fpc
+                st.executed = executed
+                st.final_pc = fpc
+                return "done"
+            pc = npc
+
+    def kernel_step(self, st: _RunState, stats: ExecutionStats) -> None:
+        """One execution of the kernel block at ``st.pc`` (batched decline path)."""
+        fn, n, krun, kipi, kexit, kslot, fpc, bi, kaux = self.entries[st.pc]
+        regs = st.regs
+        cnt = st.cnt
+        if kaux >= 0:
+            iters, extra = krun(regs, cnt, kaux)
+        else:
+            iters = krun(regs)
+            extra = 0
+        if iters:
+            cnt[kslot] += iters
+            cnt[kslot + 1] += 1
+            st.executed += kipi * iters + extra
+            st.pc = kexit
+        else:
+            npc = (
+                fn(regs, cnt)
+                if fn is not None
+                else self._run_closure_block(bi, regs, cnt)
+            )
+            st.executed += n
+            if npc is None:
+                st.final_pc = fpc
+                st.pc = fpc
+            else:
+                st.pc = npc
+        if st.executed > st.budget:
+            raise self._limit_error(st, stats)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        regs: List[int],
+        stats: ExecutionStats,
+        entry_pc: int = 0,
+        max_instructions: int = 50_000_000,
+    ) -> int:
+        """Execute until ``ebreak``; returns the final pc (the ``ebreak``).
+
+        Same contract as :meth:`TraceProgram.run`: ``regs`` is mutated in
+        place, statistics are *added* to ``stats``.
+        """
+        st = self.start(regs, stats, entry_pc, max_instructions)
+        self.advance(st, stats)
+        self.finish(st, stats)
+        return st.final_pc

@@ -1,0 +1,150 @@
+"""Process-wide, thread-safe LRU cache of :class:`~repro.hw.sim.jit.JitTemplate`.
+
+Every ``repro.compile(...)`` call used to re-decode and re-compile the same
+program — NAS sweeps, stage-4 deploys and serve worker restarts each paid
+the full trace compile again.  Templates are memory-independent (see
+:mod:`repro.hw.sim.jit`), so one compile can serve every engine in the
+process: the cache is keyed by the **program content** (the structural tuple
+of every instruction), the :class:`~repro.hw.cycles.CycleModel` (a frozen,
+hashable dataclass) and the ``enable_sdotp`` flag.
+
+Knobs
+-----
+* capacity — constructor argument, :func:`set_trace_cache_capacity`, or the
+  ``REPRO_SIM_TRACE_CACHE`` environment variable (default 16 templates).
+* :func:`clear_trace_cache` — drop all cached templates (tests, memory
+  pressure).
+* :func:`cache_stats` — hits / misses / evictions counters.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from ..isa import Instruction
+from .jit import JitTemplate
+
+_DEFAULT_CAPACITY = 16
+
+
+def structural_key(program: List[Instruction]) -> Tuple:
+    """Content key of a program: every field that affects execution."""
+    return tuple(
+        (i.mnemonic, i.rd, i.rs1, i.rs2, i.imm) for i in program
+    )
+
+
+@dataclass
+class TraceCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class TraceCache:
+    """Thread-safe LRU of compiled JIT templates."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            capacity = int(
+                os.environ.get("REPRO_SIM_TRACE_CACHE", _DEFAULT_CAPACITY)
+            )
+        self._capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, JitTemplate]" = OrderedDict()
+        self._stats = TraceCacheStats()
+
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        program: List[Instruction],
+        cycle_model: CycleModel,
+        enable_sdotp: bool,
+    ) -> JitTemplate:
+        """Return the (possibly cached) template for ``program``.
+
+        Template construction happens outside the lock so a slow compile
+        never blocks concurrent lookups of other programs; the price is
+        that two threads racing on the *same* uncached program may both
+        compile it — the loser's template is discarded, correctness is
+        unaffected (templates are immutable and interchangeable).
+        """
+        cycle_model = cycle_model or DEFAULT_CYCLE_MODEL
+        key = (structural_key(program), cycle_model, enable_sdotp)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry
+            self._stats.misses += 1
+        template = JitTemplate(list(program), cycle_model, enable_sdotp)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = template
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        return template
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats = TraceCacheStats()
+
+    def set_capacity(self, capacity: int) -> None:
+        with self._lock:
+            self._capacity = max(1, capacity)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> TraceCacheStats:
+        with self._lock:
+            return TraceCacheStats(
+                self._stats.hits, self._stats.misses, self._stats.evictions
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_CACHE = TraceCache()
+
+
+def get_template(
+    program: List[Instruction],
+    cycle_model: CycleModel,
+    enable_sdotp: bool,
+) -> JitTemplate:
+    """Fetch a compiled template from the process-wide cache."""
+    return _CACHE.get(program, cycle_model, enable_sdotp)
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached template and reset counters (mainly for tests)."""
+    _CACHE.clear()
+
+
+def set_trace_cache_capacity(capacity: int) -> None:
+    """Bound the process-wide cache to ``capacity`` templates (LRU)."""
+    _CACHE.set_capacity(capacity)
+
+
+def cache_stats() -> TraceCacheStats:
+    """Hit/miss/eviction counters of the process-wide cache."""
+    return _CACHE.stats()

@@ -1,0 +1,386 @@
+"""JIT tier tests: trace cache, codegen semantics, batching, concurrency.
+
+Complements ``test_sim_parity.py`` (which asserts bit-exactness of the JIT
+against the interpreter): here we test the machinery that is specific to
+the second-generation simulator — the process-wide compiled-trace cache
+(one decode for N engines, LRU bound), the generated-code fault semantics
+(exception types preserved mid-loop), ``jalr`` into block interiors, the
+cross-frame batched executor, thread-safety of one shared template under
+concurrent ``Engine.predict``, and the report plumbing.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.deploy import compile_network, simulate_batch
+from repro.hw import (
+    DMEM_BASE,
+    DMEM_SIZE,
+    IbexCore,
+    Instruction,
+    SimulationError,
+    ibex_platform,
+    maupiti_platform,
+    reg,
+)
+from repro.hw.sim import (
+    JitTemplate,
+    cache_stats,
+    clear_trace_cache,
+    get_template,
+    set_trace_cache_capacity,
+)
+from repro.hw.sim.trace_cache import TraceCache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+    set_trace_cache_capacity(16)
+
+
+def _tiny_program(value=7):
+    return [
+        Instruction("addi", rd=reg("t0"), rs1=0, imm=value),
+        Instruction("ebreak"),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Trace cache
+# --------------------------------------------------------------------------- #
+class TestTraceCache:
+    def test_one_decode_for_n_engines(self, integer_network, prepared_data):
+        """N engines compiling the same model share one JIT compile."""
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:1]
+        )
+        engines = [
+            repro.compile(integer_network, target="maupiti", sim_mode="jit")
+            for _ in range(3)
+        ]
+        for engine in engines:
+            engine.predict_batch(frames)
+        stats = cache_stats()
+        assert stats.misses == 1, "the same program must be JIT-compiled once"
+        assert stats.hits >= 2
+        # The cached template is literally the same object for every engine.
+        core = engines[0].backend.platform.core
+        templates = {
+            id(
+                get_template(
+                    e.backend.compiled.program,
+                    core.cycle_model,
+                    core.enable_sdotp,
+                )
+            )
+            for e in engines
+        }
+        assert len(templates) == 1
+
+    def test_content_keyed_not_identity_keyed(self):
+        """Two equal-content program lists share one cache entry."""
+        t1 = get_template(_tiny_program(), None, True)
+        t2 = get_template(_tiny_program(), None, True)
+        assert t1 is t2
+        assert cache_stats().misses == 1
+        assert cache_stats().hits == 1
+
+    def test_distinct_flags_get_distinct_entries(self):
+        t1 = get_template(_tiny_program(), None, True)
+        t2 = get_template(_tiny_program(), None, False)
+        assert t1 is not t2
+        assert cache_stats().misses == 2
+
+    def test_lru_eviction_bound(self):
+        cache = TraceCache(capacity=2)
+        programs = [_tiny_program(v) for v in (1, 2, 3)]
+        for p in programs:
+            cache.get(p, None, True)
+        assert len(cache) == 2
+        assert cache.stats().evictions == 1
+        # program 0 was evicted (LRU); 1 and 2 still hit.
+        cache.get(programs[1], None, True)
+        cache.get(programs[2], None, True)
+        assert cache.stats().hits == 2
+        cache.get(programs[0], None, True)
+        assert cache.stats().misses == 4
+
+    def test_set_capacity_shrinks(self):
+        set_trace_cache_capacity(1)
+        get_template(_tiny_program(1), None, True)
+        get_template(_tiny_program(2), None, True)
+        from repro.hw.sim.trace_cache import _CACHE
+
+        assert len(_CACHE) == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TRACE_CACHE", "5")
+        assert TraceCache().capacity == 5
+
+
+# --------------------------------------------------------------------------- #
+# Generated-code semantics
+# --------------------------------------------------------------------------- #
+class TestJitSemantics:
+    def test_jalr_into_block_interior(self):
+        """Entering a block mid-stream uses the closure fallback, bit-exact."""
+        core_i = IbexCore(mode="interp")
+        core_j = IbexCore(mode="jit")
+        program = [
+            Instruction("addi", rd=reg("t0"), rs1=0, imm=16),
+            Instruction("jalr", rd=reg("ra"), rs1=reg("t0"), imm=0),
+            Instruction("addi", rd=reg("a0"), rs1=0, imm=111),  # skipped
+            Instruction("addi", rd=reg("a1"), rs1=0, imm=222),  # skipped
+            Instruction("addi", rd=reg("a2"), rs1=0, imm=333),  # landing pad
+            Instruction("ebreak"),
+        ]
+        for core in (core_i, core_j):
+            core.run(program)
+        assert core_j.registers == core_i.registers
+        assert core_j.stats.cycles == core_i.stats.cycles
+        assert core_j.registers[reg("a2")] == 333
+        assert core_j.registers[reg("a0")] == 0
+
+    def test_oob_fault_preserves_exception_type(self):
+        """A mid-block out-of-bounds store raises the same error as interp."""
+        program = [
+            Instruction("lui", rd=reg("t0"), imm=0x7FFFF000),
+            Instruction("sw", rs1=reg("t0"), rs2=reg("t0"), imm=0),
+            Instruction("ebreak"),
+        ]
+        errors = {}
+        for mode in ("interp", "jit"):
+            core = IbexCore(mode=mode)
+            with pytest.raises(Exception) as info:
+                core.run(program)
+            errors[mode] = info.value
+        assert type(errors["jit"]) is type(errors["interp"])
+        assert str(errors["jit"]) == str(errors["interp"])
+
+    def test_oob_load_fault_matches(self):
+        program = [
+            Instruction("lui", rd=reg("t0"), imm=0x7FFFF000),
+            Instruction("lw", rd=reg("a0"), rs1=reg("t0"), imm=0),
+            Instruction("ebreak"),
+        ]
+        errors = {}
+        for mode in ("interp", "jit"):
+            core = IbexCore(mode=mode)
+            with pytest.raises(Exception) as info:
+                core.run(program)
+            errors[mode] = info.value
+        assert type(errors["jit"]) is type(errors["interp"])
+        assert str(errors["jit"]) == str(errors["interp"])
+
+    def test_instruction_limit_exception_type(self):
+        """A mid-loop budget blowup raises SimulationError in jit mode too."""
+        infinite = [
+            Instruction("addi", rd=reg("t0"), rs1=reg("t0"), imm=1),
+            Instruction("jal", rd=0, imm=-4),
+        ]
+        core = IbexCore(max_instructions=5000, mode="jit")
+        with pytest.raises(SimulationError, match="instruction limit"):
+            core.run(infinite)
+
+    def test_block_tallies_and_source(self):
+        template = get_template(_tiny_program(), None, True)
+        tallies = template.block_tallies()
+        assert tallies["total"] >= 1
+        assert tallies["jit"] + tallies["closure"] == tallies["total"]
+        assert tallies["jit"] >= 1
+        assert "def _b0" in template.source
+        assert isinstance(template, JitTemplate)
+
+    def test_x0_never_written(self):
+        """Generated code must keep x0 hard-wired to zero."""
+        program = [
+            Instruction("addi", rd=0, rs1=0, imm=123),
+            Instruction("add", rd=reg("a0"), rs1=0, rs2=0),
+            Instruction("ebreak"),
+        ]
+        core = IbexCore(mode="jit")
+        core.run(program)
+        assert core.registers[0] == 0
+        assert core.registers[reg("a0")] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Cross-frame batching
+# --------------------------------------------------------------------------- #
+class TestBatchedExecution:
+    def test_batched_path_actually_engages(
+        self, integer_network, prepared_data, monkeypatch
+    ):
+        """The jit batch path must run, not silently fall back."""
+        import repro.deploy.runtime as runtime
+
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        compiled = compile_network(integer_network, use_sdotp=True)
+        calls = []
+        original = runtime._simulate_batch_jit
+
+        def spy(*args, **kwargs):
+            result = original(*args, **kwargs)
+            calls.append(result)
+            return result
+
+        monkeypatch.setattr(runtime, "_simulate_batch_jit", spy)
+        batch = simulate_batch(maupiti_platform(sim_mode="jit"), compiled, frames)
+        assert len(calls) == 1, "batched jit path fell back to sequential"
+        assert len(batch.predictions) == 3
+
+    def test_batched_matches_sequential_platform_state(
+        self, integer_network, prepared_data
+    ):
+        """After a batched run the platform holds the last frame's state."""
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        compiled = compile_network(integer_network, use_sdotp=True)
+        p_jit = maupiti_platform(sim_mode="jit")
+        p_int = maupiti_platform(sim_mode="interp")
+        simulate_batch(p_jit, compiled, frames)
+        simulate_batch(p_int, compiled, frames)
+        assert p_jit.core.registers == p_int.core.registers
+        assert p_jit.core.pc == p_int.core.pc
+        assert p_jit.core.stats.cycles == p_int.core.stats.cycles
+        assert p_jit.memory.load_bytes(DMEM_BASE, DMEM_SIZE) == p_int.memory.load_bytes(
+            DMEM_BASE, DMEM_SIZE
+        )
+
+    def test_single_frame_uses_sequential_path(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:1]
+        )
+        compiled = compile_network(integer_network, use_sdotp=True)
+        batch = simulate_batch(maupiti_platform(sim_mode="jit"), compiled, frames)
+        assert len(batch.predictions) == 1
+
+    def test_keep_results_through_batched_path(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:3]
+        )
+        compiled = compile_network(integer_network, use_sdotp=True)
+        batch = simulate_batch(
+            maupiti_platform(sim_mode="jit"), compiled, frames, keep_results=True
+        )
+        assert len(batch.results) == 3
+        assert all(r.stats.instructions > 0 for r in batch.results)
+        np.testing.assert_array_equal(
+            batch.cycles_per_frame, [r.stats.cycles for r in batch.results]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Thread safety
+# --------------------------------------------------------------------------- #
+class TestThreadSafety:
+    def test_concurrent_predict_on_shared_template(
+        self, integer_network, prepared_data
+    ):
+        """Many engines hammer one cached template from worker threads."""
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:2]
+        )
+        reference = repro.compile(
+            integer_network, target="maupiti", sim_mode="interp"
+        ).predict_batch(frames)
+
+        n_threads = 6
+        results = [None] * n_threads
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i):
+            try:
+                engine = repro.compile(
+                    integer_network, target="maupiti", sim_mode="jit"
+                )
+                barrier.wait()
+                for _ in range(3):
+                    results[i] = engine.predict_batch(frames)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        for batch in results:
+            np.testing.assert_array_equal(batch.predictions, reference.predictions)
+            np.testing.assert_array_equal(batch.logits, reference.logits)
+            np.testing.assert_array_equal(
+                batch.cycles_per_frame, reference.cycles_per_frame
+            )
+        # Racing threads may transiently double-compile (by design: compiles
+        # happen outside the lock), but the cache converges to one entry.
+        from repro.hw.sim.trace_cache import _CACHE
+
+        assert len(_CACHE) == 1
+
+    def test_concurrent_cache_population_single_entry(self):
+        """Racing threads compiling the same program end with one entry."""
+        cache = TraceCache(capacity=8)
+        program = _tiny_program()
+        templates = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            templates.append(cache.get(program, None, True))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == 1
+        assert len({id(t) for t in templates}) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Reports
+# --------------------------------------------------------------------------- #
+class TestReportPlumbing:
+    def test_report_carries_sim_info(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:1]
+        )
+        report = repro.compile(
+            integer_network, target="maupiti", sim_mode="jit"
+        ).report(frames)
+        assert report.sim["mode"] == "jit"
+        assert report.sim["blocks"]["total"] > 0
+        assert report.sim["blocks"]["jit"] > 0
+        assert sum(report.sim["kernel_counts"].values()) >= 1
+        assert report.sim["kernel_counts"].get("sdotp-taps", 0) >= 1
+
+    def test_fast_mode_report_sim_info(self, integer_network, prepared_data):
+        frames = prepared_data["preprocessor"](
+            prepared_data["test_session"].frames[:1]
+        )
+        report = repro.compile(
+            integer_network, target="ibex", sim_mode="fast"
+        ).report(frames)
+        assert report.sim["mode"] == "fast"
+        assert report.sim["blocks"]["jit"] == 0
+        assert report.sim["blocks"]["kernel"] >= 1
+
+    def test_compiled_model_fingerprint_stable(self, integer_network):
+        a = compile_network(integer_network, use_sdotp=True)
+        b = compile_network(integer_network, use_sdotp=True)
+        c = compile_network(integer_network, use_sdotp=False)
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint

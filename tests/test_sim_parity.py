@@ -1,9 +1,10 @@
-"""Fast-simulator parity: mode="fast" must be bit-exact vs the interpreter.
+"""Simulator parity: "fast" and "jit" must be bit-exact vs the interpreter.
 
 The contract of :mod:`repro.hw.sim`: for any program that runs to
-completion, the trace-compiled simulator leaves **registers, data memory,
-final pc, instruction count, cycle count and per-mnemonic statistics**
-exactly as the reference interpreter would.  This suite checks the contract
+completion, the trace-compiled simulator ("fast") and the exec-compiled
+JIT tier ("jit") leave **registers, data memory, final pc, instruction
+count, cycle count and per-mnemonic statistics** exactly as the reference
+interpreter would.  This suite checks the contract
 
 * on every Table-I deployment configuration (INT8 / mixed / INT4, scalar
   and SDOTP kernels),
@@ -48,18 +49,22 @@ def assert_cores_equal(interp: IbexCore, fast: IbexCore) -> None:
     )
 
 
+SIM_MODES = ("interp", "fast", "jit")
+
+
 def run_both(program, setup=None, enable_sdotp=True):
-    """Run ``program`` on both modes, assert full-state parity."""
+    """Run ``program`` in every mode, assert full-state parity vs interp."""
     cores = []
-    for mode in ("interp", "fast"):
+    for mode in SIM_MODES:
         core = IbexCore(enable_sdotp=enable_sdotp, mode=mode)
         if setup is not None:
             setup(core)
         core.run(program)
         cores.append(core)
-    interp, fast = cores
-    assert_cores_equal(interp, fast)
-    return interp, fast
+    interp = cores[0]
+    for other in cores[1:]:
+        assert_cores_equal(interp, other)
+    return interp, cores[1]
 
 
 # --------------------------------------------------------------------------- #
@@ -81,27 +86,32 @@ def table1_network(request, trained_small_model, prepared_data):
 
 @pytest.mark.parametrize("use_sdotp", [False, True], ids=["scalar", "sdotp"])
 def test_table1_config_bit_exact(table1_network, prepared_data, use_sdotp):
-    """Registers, memory, cycles, energy: fast == interp on real models."""
+    """Registers, memory, cycles, energy: fast == jit == interp on real models."""
     frames = prepared_data["preprocessor"](prepared_data["test_session"].frames[:2])
     compiled = compile_network(table1_network, use_sdotp=use_sdotp)
     factory = maupiti_platform if use_sdotp else ibex_platform
-    platforms = {mode: factory(sim_mode=mode) for mode in ("interp", "fast")}
+    platforms = {mode: factory(sim_mode=mode) for mode in SIM_MODES}
     batches = {
         mode: simulate_batch(platform, compiled, frames)
         for mode, platform in platforms.items()
     }
-    bi, bf = batches["interp"], batches["fast"]
-    np.testing.assert_array_equal(bf.predictions, bi.predictions)
-    np.testing.assert_array_equal(bf.logits, bi.logits)
-    np.testing.assert_array_equal(bf.cycles_per_frame, bi.cycles_per_frame)
-    spec = platforms["fast"].spec
-    for ci, cf in zip(bi.cycles_per_frame, bf.cycles_per_frame):
-        assert spec.energy_per_inference_uj(int(cf)) == spec.energy_per_inference_uj(
-            int(ci)
+    bi = batches["interp"]
+    for mode in ("fast", "jit"):
+        bf = batches[mode]
+        np.testing.assert_array_equal(bf.predictions, bi.predictions)
+        np.testing.assert_array_equal(bf.logits, bi.logits)
+        np.testing.assert_array_equal(bf.cycles_per_frame, bi.cycles_per_frame)
+        spec = platforms[mode].spec
+        for ci, cf in zip(bi.cycles_per_frame, bf.cycles_per_frame):
+            assert spec.energy_per_inference_uj(
+                int(cf)
+            ) == spec.energy_per_inference_uj(int(ci))
+        assert_cores_equal(platforms["interp"].core, platforms[mode].core)
+    # And all agree with the vectorized integer golden model.
+    for mode in ("fast", "jit"):
+        verify_against_golden(
+            factory(sim_mode=mode), compiled, table1_network, frames
         )
-    assert_cores_equal(platforms["interp"].core, platforms["fast"].core)
-    # And both agree with the vectorized integer golden model.
-    verify_against_golden(factory(sim_mode="fast"), compiled, table1_network, frames)
 
 
 def test_every_codegen_hint_is_vectorized(table1_network):
@@ -324,32 +334,33 @@ def test_randomized_programs_bit_exact(seed):
     run_both(program, setup=setup)
 
 
-def test_empty_program_raises_simulation_error_in_both_modes():
+def test_empty_program_raises_simulation_error_in_all_modes():
     from repro.hw import SimulationError
 
-    for mode in ("interp", "fast"):
+    for mode in SIM_MODES:
         core = IbexCore(mode=mode)
         with pytest.raises(SimulationError, match="outside the program"):
             core.run([])
 
 
-def test_runaway_program_raises_in_both_modes():
+def test_runaway_program_raises_in_all_modes():
     from repro.hw import SimulationError
 
     infinite = [Instruction("jal", rd=0, imm=0)]
-    for mode in ("interp", "fast"):
+    for mode in SIM_MODES:
         core = IbexCore(max_instructions=1000, mode=mode)
         with pytest.raises(SimulationError, match="instruction limit"):
             core.run(infinite)
 
 
-def test_trace_cache_invalidated_on_in_place_edit():
+@pytest.mark.parametrize("mode", ["fast", "jit"])
+def test_trace_cache_invalidated_on_in_place_edit(mode):
     """Mutating a program list between runs must recompile the trace."""
     program = [
         Instruction("addi", rd=reg("t0"), rs1=0, imm=7),
         Instruction("ebreak"),
     ]
-    core = IbexCore(mode="fast")
+    core = IbexCore(mode=mode)
     core.run(program)
     assert core.registers[reg("t0")] == 7
     program[0] = Instruction("addi", rd=reg("t0"), rs1=0, imm=99)
@@ -358,11 +369,12 @@ def test_trace_cache_invalidated_on_in_place_edit():
     assert core.registers[reg("t0")] == 99
 
 
-def test_sdotp_rejected_on_vanilla_core_in_fast_mode():
+@pytest.mark.parametrize("mode", ["fast", "jit"])
+def test_sdotp_rejected_on_vanilla_core(mode):
     from repro.hw import SimulationError
 
     program = [Instruction("sdotp8", rd=1, rs1=2, rs2=3), Instruction("ebreak")]
-    core = IbexCore(enable_sdotp=False, mode="fast")
+    core = IbexCore(enable_sdotp=False, mode=mode)
     with pytest.raises(SimulationError, match="SDOTP"):
         core.run(program)
 
@@ -371,17 +383,18 @@ def test_sdotp_rejected_on_vanilla_core_in_fast_mode():
 # Batched execution
 # --------------------------------------------------------------------------- #
 class TestSimulateBatch:
-    def test_matches_per_frame_runs(self, integer_network, prepared_data):
+    @pytest.mark.parametrize("mode", ["fast", "jit"])
+    def test_matches_per_frame_runs(self, integer_network, prepared_data, mode):
         from repro.deploy.runtime import load_model, run_frame
 
         frames = prepared_data["preprocessor"](
             prepared_data["test_session"].frames[:4]
         )
         compiled = compile_network(integer_network, use_sdotp=True)
-        batch_platform = maupiti_platform(sim_mode="fast")
+        batch_platform = maupiti_platform(sim_mode=mode)
         batch = simulate_batch(batch_platform, compiled, frames)
 
-        single_platform = maupiti_platform(sim_mode="fast")
+        single_platform = maupiti_platform(sim_mode=mode)
         load_model(single_platform, compiled)
         singles = [run_frame(single_platform, compiled, f) for f in frames]
         np.testing.assert_array_equal(
@@ -398,15 +411,17 @@ class TestSimulateBatch:
         frames = prepared_data["preprocessor"](
             prepared_data["test_session"].frames[:3]
         )
-        fast = repro.compile(integer_network, target="maupiti", sim_mode="fast")
         interp = repro.compile(integer_network, target="maupiti", sim_mode="interp")
-        bf, bi = fast.predict_batch(frames), interp.predict_batch(frames)
-        np.testing.assert_array_equal(bf.predictions, bi.predictions)
-        np.testing.assert_array_equal(bf.logits, bi.logits)
-        np.testing.assert_array_equal(bf.cycles_per_frame, bi.cycles_per_frame)
-        np.testing.assert_array_equal(
-            bf.energy_uj_per_frame, bi.energy_uj_per_frame
-        )
+        bi = interp.predict_batch(frames)
+        for mode in ("fast", "jit"):
+            engine = repro.compile(integer_network, target="maupiti", sim_mode=mode)
+            bf = engine.predict_batch(frames)
+            np.testing.assert_array_equal(bf.predictions, bi.predictions)
+            np.testing.assert_array_equal(bf.logits, bi.logits)
+            np.testing.assert_array_equal(bf.cycles_per_frame, bi.cycles_per_frame)
+            np.testing.assert_array_equal(
+                bf.energy_uj_per_frame, bi.energy_uj_per_frame
+            )
 
     def test_empty_batch(self, integer_network):
         compiled = compile_network(integer_network, use_sdotp=True)
