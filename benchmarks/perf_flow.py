@@ -1,32 +1,44 @@
 #!/usr/bin/env python
-"""Serial vs parallel vs cached benchmark of the optimization sweep layers.
+"""Serial vs thread vs process vs cached benchmark of the optimization sweeps.
 
 Runs the paper's two sweep layers — the 4-lambda PIT NAS sweep (Fig. 5) and
 the exhaustive mixed-precision QAT exploration of one discovered
-architecture — three times through the :mod:`repro.parallel` machinery:
+architecture — through every :mod:`repro.parallel` executor:
 
 1. ``serial``  — the reference in-process loop, cold;
-2. ``process`` — a 4-worker process pool, cold, filling the result cache;
-3. ``cached``  — the same parallel run again, replayed from the
+2. ``process`` — a persistent worker pool with shared-memory dataset
+   handoff: one **cold** pass (pool fork + shm share + cache fill) and one
+   **warm** pass (the steady state a multi-stage flow run experiences);
+3. ``thread``  — the thread-pool executor over the same task units;
+4. ``cached``  — the parallel run again, replayed from the
    content-addressed result cache (the "repeated flow run" path).
 
-All three runs are asserted **bit-identical** (architecture metrics, trained
-weights, QAT points) before any timing is reported, then the results are
-written as machine-readable JSON (``BENCH_flow.json`` at the repository root
-by default):
+Every pass is asserted **bit-identical** to serial (architecture metrics,
+trained weights, QAT points) before any timing is reported, and all
+shared-memory blocks are asserted unlinked after the executors close.
+Results are written as machine-readable JSON (``BENCH_flow.json`` at the
+repository root by default):
 
-* ``parallel_speedup`` — serial / process wall-clock on the cold sweep.
-  This tracks the worker pool itself and is only meaningful (and only
-  enforced, at >=2.5x) on machines with >= 4 CPUs; on smaller hosts it is
-  recorded for the trajectory but not gated.
+* ``parallel_speedup`` — serial / warm-process wall-clock on the cold
+  sweep.  The warm measurement matches flow usage (``FlowConfig`` keeps one
+  executor across all stages, so only the first stage pays pool start-up);
+  the cold pass is recorded alongside as ``process.cold_seconds``.  The
+  floor is >= 1.0x on any host (the pool must never be a pessimization)
+  and >= 2.5x on machines with >= 4 CPUs.
+* ``thread_speedup`` — serial / thread wall-clock (GIL-bound on the
+  pure-python training loops; it pays off on GIL-releasing numpy paths).
 * ``cached_speedup`` — serial / cached-rerun wall-clock; this is what a
   repeated flow run experiences and must clear the 2.5x acceptance bar on
   any machine.
 * ``speedup`` — the best end-to-end improvement achieved over the cold
   serial sweep on this host.
+* ``curves`` — real speedup curves over a (executor x workers x task-count)
+  grid of 1-epoch QAT units, cold (fresh pool) and warm (reused pool), each
+  cell bit-checked against its serial baseline.
 
-CI runs ``perf_flow.py --quick`` as a smoke job, so a serial/process
-mismatch or a cache corruption fails every PR.
+CI runs ``perf_flow.py --quick`` as a smoke job, so a serial/thread/process
+mismatch, a cache corruption or a leaked shared-memory segment fails every
+PR.
 
 Usage::
 
@@ -52,8 +64,9 @@ from repro.serve import describe_host
 from repro.nas.search import SearchConfig, run_search
 from repro.nn import ArrayDataset
 from repro.nn.losses import CrossEntropyLoss, balanced_class_weights
-from repro.parallel import ResultCache
+from repro.parallel import ProcessExecutor, ResultCache, ThreadExecutor, get_executor
 from repro.quant import QATConfig, explore_mixed_precision
+from repro.quant.quantize import enumerate_schemes
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 WORKERS = 4
@@ -65,6 +78,9 @@ FULL = dict(
     conv_channels=(10, 10),
     hidden=16,
     scale=0.08,
+    repeats=3,                     # best-of-N timing for serial/warm passes
+    curve_workers=(1, 2, 4),
+    curve_tasks=(2, 8),
 )
 QUICK = dict(
     lambdas=(1e-5, 5e-4),
@@ -73,6 +89,9 @@ QUICK = dict(
     conv_channels=(6, 6),
     hidden=8,
     scale=0.03,
+    repeats=1,
+    curve_workers=(2,),
+    curve_tasks=(2,),
 )
 
 
@@ -92,8 +111,13 @@ def build_workload(cfg):
     return train_set, test_set, loss_fn
 
 
-def run_sweeps(cfg, train_set, test_set, loss_fn, executor, max_workers, cache):
-    """One full pass over both sweep layers; returns (nas_points, qat_points)."""
+def run_sweeps(cfg, train_set, test_set, loss_fn, executor, cache):
+    """One full pass over both sweep layers; returns (nas_points, qat_points).
+
+    ``executor`` is a name or an executor instance; instances persist their
+    worker pool (and shared datasets) across passes, which is exactly what
+    the warm measurements exercise.
+    """
     points = run_search(
         seed_builder(cfg["conv_channels"], cfg["hidden"]),
         train_set,
@@ -102,7 +126,6 @@ def run_sweeps(cfg, train_set, test_set, loss_fn, executor, max_workers, cache):
         loss_fn=loss_fn,
         seed=0,
         executor=executor,
-        max_workers=max_workers,
         cache=cache,
     )
     # QAT-explore the mid-sized discovered architecture (full enumeration:
@@ -117,7 +140,6 @@ def run_sweeps(cfg, train_set, test_set, loss_fn, executor, max_workers, cache):
         seed=0,
         source_label=arch.describe(),
         executor=executor,
-        max_workers=max_workers,
         cache=cache,
     )
     return points, quantized
@@ -139,6 +161,111 @@ def signature(points, quantized):
     )
 
 
+def quant_signature(points):
+    return [
+        (tuple(q.scheme.bits), q.bas, q.memory_bytes, q.macs,
+         tuple(param.data.tobytes() for param in q.model.parameters()))
+        for q in points
+    ]
+
+
+def timed(fn, repeats):
+    """Best-of-``repeats`` wall-clock; returns (seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def assert_unlinked(names):
+    """Every recorded shared-memory block must be gone after close()."""
+    from multiprocessing import shared_memory
+
+    leaked = []
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        leaked.append(name)
+    if leaked:
+        raise SystemExit(f"SHM LEAK: blocks still linked after close: {leaked}")
+
+
+def measure_curves(cfg, train_set, test_set, loss_fn, arch, shm_names):
+    """Workers x task-count speedup grid for the process & thread executors.
+
+    The task unit is one 1-epoch QAT scheme on the mid-sweep architecture —
+    small enough that a grid stays affordable, real enough (full forward/
+    backward training on the actual dataset) that the dispatch overheads
+    being measured are in realistic proportion.  Every cell is bit-checked
+    against its serial baseline, so the curves double as the
+    "bit-identical for all worker counts" regression gate.
+    """
+    qat_cfg = QATConfig(epochs=1, batch_size=cfg["search"]["batch_size"])
+    all_schemes = enumerate_schemes(4, first_layer_bits=8)
+
+    def one_pass(executor, n_tasks, cache=None):
+        return explore_mixed_precision(
+            arch.model, train_set, test_set,
+            schemes=all_schemes[:n_tasks], config=qat_cfg, loss_fn=loss_fn,
+            seed=0, source_label="curve", executor=executor, cache=cache,
+        )
+
+    serial_base = {}
+    for n_tasks in cfg["curve_tasks"]:
+        seconds, points = timed(lambda n=n_tasks: one_pass("serial", n), cfg["repeats"])
+        serial_base[n_tasks] = (seconds, quant_signature(points))
+
+    grid = []
+    for kind in ("process", "thread"):
+        for workers in cfg["curve_workers"]:
+            for n_tasks in cfg["curve_tasks"]:
+                executor = get_executor(kind, max_workers=workers)
+                try:
+                    cold_s, points = timed(
+                        lambda: one_pass(executor, n_tasks), repeats=1
+                    )
+                    if quant_signature(points) != serial_base[n_tasks][1]:
+                        raise SystemExit(
+                            f"CURVE MISMATCH: {kind} x{workers} on {n_tasks} "
+                            "tasks diverged from serial"
+                        )
+                    warm_s, points = timed(
+                        lambda: one_pass(executor, n_tasks), cfg["repeats"]
+                    )
+                    if quant_signature(points) != serial_base[n_tasks][1]:
+                        raise SystemExit(
+                            f"CURVE MISMATCH (warm): {kind} x{workers} on "
+                            f"{n_tasks} tasks diverged from serial"
+                        )
+                    if isinstance(executor, ProcessExecutor):
+                        shm_names.update(executor.shared_block_names)
+                finally:
+                    executor.close()
+                serial_s = serial_base[n_tasks][0]
+                grid.append({
+                    "executor": kind,
+                    "workers": workers,
+                    "tasks": n_tasks,
+                    "cold_seconds": cold_s,
+                    "warm_seconds": warm_s,
+                    "cold_speedup": serial_s / cold_s,
+                    "warm_speedup": serial_s / warm_s,
+                })
+    return {
+        "unit": "1-epoch QAT scheme on the mid-sweep NAS architecture",
+        "workers": list(cfg["curve_workers"]),
+        "task_counts": list(cfg["curve_tasks"]),
+        "serial_seconds": {str(n) : s for n, (s, _) in serial_base.items()},
+        "grid": grid,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -151,6 +278,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     cfg = QUICK if args.quick else FULL
+    # Oversubscribing the host (more training workers than CPUs) measures
+    # scheduler thrash, not executor dispatch cost: the headline pools are
+    # sized to the machine.  The curves grid still sweeps explicit worker
+    # counts, including oversubscribed ones.
+    workers = max(1, min(args.workers, os.cpu_count() or 1))
     train_set, test_set, loss_fn = build_workload(cfg)
     n_schemes = 8  # 4 quantizable layers, first pinned to 8 bits
     print(f"workload: {len(cfg['lambdas'])}-lambda NAS sweep + {n_schemes}-scheme "
@@ -158,35 +290,61 @@ def main(argv=None) -> int:
           f"{len(train_set)} train frames, {os.cpu_count()} CPUs")
 
     cache_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-flow-cache-"))
+    shm_names = set()
     try:
         cache = ResultCache(cache_dir)
 
-        start = time.perf_counter()
-        serial = run_sweeps(cfg, train_set, test_set, loss_fn, "serial", None, None)
-        serial_s = time.perf_counter() - start
+        pool = ProcessExecutor(max_workers=workers)
+        try:
+            # Cold: pool fork + dataset shm share + training + cache fill.
+            start = time.perf_counter()
+            parallel = run_sweeps(cfg, train_set, test_set, loss_fn, pool, cache)
+            process_cold_s = time.perf_counter() - start
+            trained = cache.misses
+            shm_bytes = pool._arena.nbytes
+            shm_names.update(pool.shared_block_names)
 
-        start = time.perf_counter()
-        parallel = run_sweeps(
-            cfg, train_set, test_set, loss_fn, "process", args.workers, cache
-        )
-        parallel_s = time.perf_counter() - start
-        trained = cache.misses
+            # Serial reference vs warm pool (the steady state of every flow
+            # stage after the first).  The two are *interleaved*, round by
+            # round, so slow drift on the host (thermal throttling,
+            # co-tenant load) biases neither side; best-of-N per side.
+            serial_s = process_warm_s = float("inf")
+            for _ in range(max(1, cfg["repeats"])):
+                start = time.perf_counter()
+                serial = run_sweeps(cfg, train_set, test_set, loss_fn, "serial", None)
+                serial_s = min(serial_s, time.perf_counter() - start)
+                start = time.perf_counter()
+                parallel_warm = run_sweeps(cfg, train_set, test_set, loss_fn, pool, None)
+                process_warm_s = min(process_warm_s, time.perf_counter() - start)
 
-        start = time.perf_counter()
-        cached = run_sweeps(
-            cfg, train_set, test_set, loss_fn, "process", args.workers, cache
-        )
-        cached_s = time.perf_counter() - start
-        replayed = cache.hits
+            # Cache replay (the "repeated flow run" path).
+            start = time.perf_counter()
+            cached = run_sweeps(cfg, train_set, test_set, loss_fn, pool, cache)
+            cached_s = time.perf_counter() - start
+            replayed = cache.hits
+        finally:
+            pool.close()
+        assert_unlinked(shm_names)
 
-        if signature(*parallel) != signature(*serial):
-            raise SystemExit("SERIAL/PROCESS MISMATCH: sweep results differ")
-        if signature(*cached) != signature(*serial):
-            raise SystemExit("CACHE MISMATCH: replayed sweep results differ")
+        with ThreadExecutor(max_workers=workers) as threads:
+            thread_s, threaded = timed(
+                lambda: run_sweeps(cfg, train_set, test_set, loss_fn, threads, None),
+                cfg["repeats"],
+            )
+
+        want = signature(*serial)
+        for label, got in (("PROCESS", parallel), ("PROCESS-WARM", parallel_warm),
+                           ("THREAD", threaded), ("CACHE", cached)):
+            if signature(*got) != want:
+                raise SystemExit(f"{label} MISMATCH: sweep results differ from serial")
         if replayed != trained:
             raise SystemExit(
                 f"CACHE MISS ON RERUN: {replayed} hits for {trained} stored units"
             )
+
+        arch = serial[0][len(serial[0]) // 2]
+        curves = measure_curves(cfg, train_set, test_set, loss_fn, arch, shm_names)
+        assert_unlinked(shm_names)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
@@ -200,29 +358,38 @@ def main(argv=None) -> int:
             "search": dict(cfg["search"]),
             "qat_epochs": cfg["qat_epochs"],
             "train_frames": len(train_set),
+            "timing": f"best-of-{cfg['repeats']}, serial/warm rounds interleaved",
             "quick": bool(args.quick),
         },
         "host": describe_host(),
         "cpus": os.cpu_count(),
-        "workers": args.workers,
+        "workers": workers,
+        "workers_requested": args.workers,
         "task_units": trained,
+        "shm": {"blocks": len(shm_names), "bytes": shm_bytes},
         "serial": {"seconds": serial_s},
-        "process": {"seconds": parallel_s},
+        "process": {"seconds": process_warm_s, "cold_seconds": process_cold_s},
+        "thread": {"seconds": thread_s},
         "cached": {"seconds": cached_s},
-        "parallel_speedup": serial_s / parallel_s,
+        "parallel_speedup": serial_s / process_warm_s,
+        "parallel_cold_speedup": serial_s / process_cold_s,
+        "thread_speedup": serial_s / thread_s,
         "cached_speedup": serial_s / cached_s,
-        "speedup": serial_s / min(parallel_s, cached_s),
+        "speedup": serial_s / min(process_warm_s, cached_s),
+        "curves": curves,
     }
     args.out.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"serial  {serial_s:7.2f}s | process({args.workers}) {parallel_s:7.2f}s "
-          f"({results['parallel_speedup']:4.2f}x) | cached rerun {cached_s:7.2f}s "
-          f"({results['cached_speedup']:5.1f}x)")
-    print(f"parity: OK ({trained} task units bit-identical across serial / "
-          f"process / cache replay)")
+    print(f"serial  {serial_s:7.2f}s | process({workers}) cold {process_cold_s:6.2f}s "
+          f"warm {process_warm_s:6.2f}s ({results['parallel_speedup']:4.2f}x) | "
+          f"thread {thread_s:6.2f}s ({results['thread_speedup']:4.2f}x) | "
+          f"cached {cached_s:6.2f}s ({results['cached_speedup']:5.1f}x)")
+    print(f"parity: OK ({trained} task units bit-identical across serial / process "
+          f"/ thread / cache replay); shm: {len(shm_names)} blocks, all unlinked")
     print(f"wrote {args.out}")
 
-    # The quick CI job only enforces bit-exact parity (checked above) —
-    # tiny workloads on shared runners are too noisy to gate on wall-clock.
+    # The quick CI job only enforces bit-exact parity and shm cleanliness
+    # (checked above) — tiny workloads on shared runners are too noisy to
+    # gate on wall-clock.
     if not args.quick:
         failed = False
         if results["cached_speedup"] < 2.5:
@@ -230,13 +397,15 @@ def main(argv=None) -> int:
                   "below the 2.5x floor", file=sys.stderr)
             failed = True
         cpus = os.cpu_count() or 1
-        if cpus >= 4 and results["parallel_speedup"] < 2.5:
+        floor = 2.5 if cpus >= 4 else 1.0
+        if results["parallel_speedup"] < floor:
             print(f"FAIL: process-pool speedup {results['parallel_speedup']:.2f}x "
-                  f"below the 2.5x floor on a {cpus}-CPU host", file=sys.stderr)
+                  f"below the {floor}x floor on a {cpus}-CPU host", file=sys.stderr)
             failed = True
-        elif cpus < 4:
-            print(f"note: {cpus} CPU(s) available — the process-pool speedup is "
-                  "recorded but only enforced on >=4-CPU hosts")
+        if cpus < 4:
+            print(f"note: {cpus} CPU(s) available — the >=2.5x process-pool floor "
+                  "is only enforced on >=4-CPU hosts (>=1.0x here: the pool must "
+                  "never be a pessimization)")
         if failed:
             return 1
     return 0

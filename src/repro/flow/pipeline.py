@@ -129,10 +129,13 @@ class FlowConfig:
     # trace-compiled closure simulator, "interp" the reference interpreter.
     # All three are bit-exact.
     sim_mode: str = "jit"
-    # Task execution: "serial" (reference) or "process" (a
-    # concurrent.futures worker pool of max_workers processes).  Every flow
-    # unit is independently seeded, so both settings — and any worker count —
-    # produce bit-identical results.
+    # Task execution: "serial" (reference), "thread" (persistent thread
+    # pool — zero-copy, scales on GIL-releasing numpy paths such as the
+    # batched simulator deploys) or "process" (one persistent worker pool
+    # for the whole flow run, with shared-memory dataset handoff).  An
+    # executor instance is also accepted and is left open for its owner.
+    # Every flow unit is independently seeded, so all settings — and any
+    # worker count — produce bit-identical results.
     executor: str = "serial"
     max_workers: Optional[int] = None
     # Directory of the content-addressed result cache; None disables
@@ -262,26 +265,32 @@ class FlowResult:
         deployed with identical model/frames/options.
         """
         from ..engine import ModelBundle
-        from ..parallel import fingerprint, run_tasks
+        from ..parallel import executor_is_owned, fingerprint, get_executor, run_tasks
 
         bundle = ModelBundle(point)
         network = bundle.require_integer()  # lowered once, shared by targets
         frames = np.asarray(frames)
-        payloads = [(network, t, frames, sim_mode, verify) for t in targets]
+        owned = executor_is_owned(executor)
+        executor = get_executor(executor, max_workers)
         keys = None
         if cache is not None:
             keys = [
                 fingerprint("deploy", network, target, frames, sim_mode, verify)
                 for target in targets
             ]
-        entries = run_tasks(
-            _deploy_task,
-            payloads,
-            executor=executor,
-            max_workers=max_workers,
-            cache=cache,
-            keys=keys,
-        )
+        frames = executor.share_array(frames)  # after keying: content-equal
+        payloads = [(network, t, frames, sim_mode, verify) for t in targets]
+        try:
+            entries = run_tasks(
+                _deploy_task,
+                payloads,
+                executor=executor,
+                cache=cache,
+                keys=keys,
+            )
+        finally:
+            if owned:
+                executor.close()
         report = DeploymentReport(model_label=point.label)
         for entry in entries:
             report.add(entry)
@@ -340,15 +349,43 @@ class OptimizationFlow:
         seed_hidden: int = 64,
     ) -> FlowResult:
         """Execute the full flow against one held-out session."""
-        from ..parallel import ResultCache, fingerprint, get_executor, run_tasks
+        from ..parallel import executor_is_owned, get_executor
 
         cfg = self.config
+        # One executor for the whole run: the process pool forks once and is
+        # reused by every stage, and the datasets are placed in shared
+        # memory once.  The flow closes the executor (releasing workers and
+        # unlinking shared memory) only when it created it from a name; a
+        # caller-supplied instance is left open for its owner.
+        owned = executor_is_owned(cfg.executor)
         executor = get_executor(cfg.executor, cfg.max_workers)
+        try:
+            return self._run_stages(dataset, test_session_id, seed_channels,
+                                    seed_hidden, executor)
+        finally:
+            if owned:
+                executor.close()
+
+    def _run_stages(
+        self,
+        dataset: LinaigeDataset,
+        test_session_id: int,
+        seed_channels: Tuple[int, int],
+        seed_hidden: int,
+        executor,
+    ) -> FlowResult:
+        from ..parallel import ResultCache, fingerprint, run_tasks
+
+        cfg = self.config
         cache = ResultCache(cfg.cache_dir) if cfg.cache_dir else None
         train_set, test_set, test_session, pre = self.prepare_data(
             dataset, test_session_id
         )
         loss_fn = self._loss(train_set.targets)
+        # Shared-memory handoff (no-op for serial/thread executors): every
+        # downstream payload now references the same two blocks.
+        train_set = executor.share_dataset(train_set)
+        test_set = executor.share_dataset(test_set)
 
         # Stage 0: measure the seed itself (the blue star of Fig. 5) — one
         # task unit, so it caches and parallelizes like every other stage.

@@ -242,9 +242,16 @@ def run_search(
         Optional :class:`repro.parallel.ResultCache`; trials whose (seed,
         config, dataset content) key is already stored are not re-trained.
     """
-    from ..parallel import fingerprint, run_tasks
+    from ..parallel import executor_is_owned, fingerprint, get_executor, run_tasks
 
     config = config or SearchConfig()
+    owned = executor_is_owned(executor)
+    executor = get_executor(executor, max_workers)
+    # Datasets go into shared memory once (a no-op for serial/thread
+    # executors); task payloads then carry descriptors, not array bytes.
+    # Shared views are content-identical, so fingerprints don't change.
+    train_set = executor.share_dataset(train_set)
+    val_set = executor.share_dataset(val_set)
     lambdas = list(config.lambdas)
     children = np.random.SeedSequence(seed).spawn(len(lambdas))
     payloads = [
@@ -265,14 +272,17 @@ def run_search(
             )
             for strength, child in zip(lambdas, children)
         ]
-    points = run_tasks(
-        _search_task,
-        payloads,
-        executor=executor,
-        max_workers=max_workers,
-        cache=cache,
-        keys=keys,
-    )
+    try:
+        points = run_tasks(
+            _search_task,
+            payloads,
+            executor=executor,
+            cache=cache,
+            keys=keys,
+        )
+    finally:
+        if owned:
+            executor.close()
     if config.verbose:
         for point in points:
             print(point.describe())

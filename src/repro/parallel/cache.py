@@ -130,9 +130,23 @@ def _update(h: "hashlib._Hash", obj: Any) -> None:
             _update(h, cell.cell_contents)
         _update(h, getattr(obj, "__defaults__", None))
     else:
-        # Generic object: class plus public attribute contents.
+        # Generic object: class plus public attribute contents.  Attributes
+        # may live in __dict__ or in __slots__ (collected across the MRO) —
+        # hashing only __dict__ would collapse every instance of a
+        # __slots__-only class onto one digest regardless of field values.
         h.update(b"object:" + type(obj).__qualname__.encode())
-        state = getattr(obj, "__dict__", None)
+        state = dict(getattr(obj, "__dict__", None) or {})
+        for klass in type(obj).__mro__:
+            slots = klass.__dict__.get("__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                if slot in ("__dict__", "__weakref__") or slot in state:
+                    continue
+                try:
+                    state[slot] = getattr(obj, slot)
+                except AttributeError:
+                    pass  # declared but never assigned
         if state:
             _update(h, {k: v for k, v in state.items() if not k.startswith("_")})
 
@@ -150,7 +164,10 @@ class ResultCache:
 
     Writes are atomic (temp file + rename) so concurrent workers or an
     interrupted run never leave a truncated entry behind; a corrupt or
-    unreadable entry is treated as a miss and overwritten.
+    unreadable entry is treated as a miss and overwritten.  ``*.tmp`` files
+    orphaned by a killed ``put()`` are swept on init and on ``clear()``
+    (instances are created before any writes start, so the sweep cannot race
+    an in-flight write of this process).
     """
 
     def __init__(self, root: os.PathLike | str):
@@ -158,6 +175,12 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        for orphan in self.root.glob("*.tmp"):
+            with contextlib.suppress(OSError):
+                orphan.unlink()
 
     # ------------------------------------------------------------------ #
     def path(self, key: str) -> Path:
@@ -198,6 +221,7 @@ class ResultCache:
     def clear(self) -> None:
         for entry in self.root.glob("*.pkl"):
             entry.unlink(missing_ok=True)
+        self._sweep_stale_tmp()
 
     def reset_counters(self) -> None:
         self.hits = 0

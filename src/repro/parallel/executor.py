@@ -7,12 +7,20 @@ child and shares nothing with its siblings.  Executors only decide *where*
 the units run:
 
 * :class:`SerialExecutor` — in-process ``for`` loop (the reference),
-* :class:`ProcessExecutor` — a ``concurrent.futures.ProcessPoolExecutor``
-  worker pool.
+* :class:`ThreadExecutor` — a thread pool; cheap to start and zero-copy by
+  construction, the right choice for numpy-heavy units that release the GIL
+  (batched simulator deploys, vectorized golden forwards),
+* :class:`ProcessExecutor` — a **persistent** ``ProcessPoolExecutor`` worker
+  pool reused across ``run()`` calls, with shared-memory dataset handoff
+  (see :mod:`repro.parallel.shm`) so payloads stay kilobyte-sized.
 
 Because every unit is seeded independently and results are gathered in
-submission order, both executors produce **bit-identical** outputs for any
+submission order, all executors produce **bit-identical** outputs for any
 worker count (enforced by ``tests/test_parallel_flow.py``).
+
+Executors are context managers; ``close()`` is idempotent, releases the
+pool and (for the process executor) unlinks every shared-memory block.  A
+closed executor transparently restarts its pool if it is used again.
 
 Task functions must be module-level (picklable) and their payloads must
 survive a pickle round-trip; see the README's troubleshooting note for the
@@ -22,15 +30,40 @@ usual offenders (lambdas, locally-defined cost models, open file handles).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Union
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .cache import ResultCache
+from .shm import ShmArena, attach_blocks
 
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "thread", "process")
 
 
-class SerialExecutor:
+class _ExecutorBase:
+    """Shared lifecycle / shm interface; serial and thread executors run in
+    the parent address space, so sharing is the identity function."""
+
+    name = "base"
+
+    def share_array(self, array):
+        return array
+
+    def share_dataset(self, dataset):
+        return dataset
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SerialExecutor(_ExecutorBase):
     """Run every task unit in the calling process, in submission order."""
 
     name = "serial"
@@ -39,13 +72,61 @@ class SerialExecutor:
         return [fn(payload) for payload in payloads]
 
 
-class ProcessExecutor:
-    """Run task units on a ``ProcessPoolExecutor`` worker pool.
+class ThreadExecutor(_ExecutorBase):
+    """Run task units on a persistent thread pool.
+
+    Threads see the parent's memory directly — no pickling, no copies — so
+    this executor pays essentially zero dispatch cost.  It only *scales*
+    on code that releases the GIL (large numpy kernels: batched simulator
+    runs, vectorized golden forwards); pure-Python-heavy units serialize on
+    the GIL and should use :class:`ProcessExecutor` instead.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-task"
+            )
+        return list(self._pool.map(fn, payloads))
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ProcessExecutor(_ExecutorBase):
+    """Run task units on a persistent ``ProcessPoolExecutor`` worker pool.
 
     ``max_workers`` defaults to the machine's CPU count.  Results come back
     in submission order regardless of completion order, so swapping this in
     for :class:`SerialExecutor` never reorders (or otherwise changes) the
     output.  Worker exceptions propagate to the caller.
+
+    Two constant factors distinguish this from a throwaway pool-per-call:
+
+    * the pool is started lazily on the first ``run()`` and **reused** by
+      every later call (one fork cost per flow run, not per stage), with
+      datasets registered via :meth:`share_dataset` pre-attached in each
+      worker through the pool initializer;
+    * large arrays travel as shared-memory descriptors, not pickled bytes
+      (:mod:`repro.parallel.shm`), so a task payload costs kilobytes.
+
+    Short task lists are chunked (``chunksize`` heuristic) to amortize the
+    per-message IPC overhead.  A crashed worker (``BrokenProcessPool``)
+    surfaces as a :class:`RuntimeError` naming the executor, and the broken
+    pool is discarded so the executor stays usable.
     """
 
     name = "process"
@@ -54,26 +135,91 @@ class ProcessExecutor:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or os.cpu_count() or 1
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._arena = ShmArena()
+
+    # ------------------------------------------------------------------ #
+    # shared-memory dataset handoff
+    # ------------------------------------------------------------------ #
+    def share_array(self, array):
+        """Place ``array`` in shared memory (idempotent); see ShmArena."""
+        return self._arena.share_array(array)
+
+    def share_dataset(self, dataset):
+        """Share a dataset's arrays once; payloads then pickle descriptors."""
+        return self._arena.share_dataset(dataset)
+
+    @property
+    def shared_block_names(self):
+        """Names of the live shm blocks (for leak assertions in tests/CI)."""
+        return self._arena.block_names()
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=attach_blocks,
+                initargs=(self._arena.descriptors(),),
+            )
+        return self._pool
+
+    @staticmethod
+    def _chunksize(num_tasks: int, workers: int) -> int:
+        # Aim for ~4 chunks per worker: enough slack for load balancing on
+        # uneven task durations, few enough messages that short task lists
+        # are not dominated by IPC round-trips.
+        return max(1, num_tasks // (workers * 4))
 
     def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
         payloads = list(payloads)
         if not payloads:
             return []
-        workers = min(self.max_workers, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, payloads))
+        pool = self._ensure_pool()
+        chunksize = self._chunksize(len(payloads), self.max_workers)
+        try:
+            return list(pool.map(fn, payloads, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            raise RuntimeError(
+                "a 'process' executor worker died before finishing its task "
+                "(out-of-memory killer, os._exit or a segfaulting extension "
+                "are the usual causes); the pool has been discarded and the "
+                "executor remains usable — executor='serial' reproduces the "
+                "failing unit in-process for debugging"
+            ) from exc
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down and unlink all shared blocks (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self._arena.close()
+
+    def __del__(self):  # best-effort: explicit close() is the contract
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
-ExecutorLike = Union[str, SerialExecutor, ProcessExecutor]
+ExecutorLike = Union[str, SerialExecutor, ThreadExecutor, ProcessExecutor]
 
 
 def get_executor(
     executor: Optional[ExecutorLike] = None, max_workers: Optional[int] = None
-) -> Union[SerialExecutor, ProcessExecutor]:
+) -> Union[SerialExecutor, ThreadExecutor, ProcessExecutor]:
     """Resolve an executor name (or pass an instance through).
 
-    ``executor`` may be ``"serial"``, ``"process"``, ``None`` (serial) or an
-    object already exposing ``run(fn, payloads)``.
+    ``executor`` may be ``"serial"``, ``"thread"``, ``"process"``, ``None``
+    (serial) or an object already exposing ``run(fn, payloads)``.  Passing
+    ``max_workers`` together with an instance warns: the instance's own
+    worker count always wins.
     """
     if executor is None:
         return SerialExecutor()
@@ -83,15 +229,41 @@ def get_executor(
                 f"executor must be a name or expose run(fn, payloads); got "
                 f"{type(executor).__name__}"
             )
+        if max_workers is not None:
+            warnings.warn(
+                f"max_workers={max_workers} is ignored for an executor "
+                f"instance (it keeps its own worker count of "
+                f"{getattr(executor, 'max_workers', 'n/a')}); pass the name "
+                f"{getattr(executor, 'name', 'process')!r} instead to build "
+                "a pool of that size",
+                UserWarning,
+                stacklevel=2,
+            )
         return executor
     name = executor.lower()
     if name == "serial":
         return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(max_workers=max_workers)
     if name == "process":
         return ProcessExecutor(max_workers=max_workers)
     raise ValueError(
         f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
     )
+
+
+def executor_is_owned(executor: Optional[ExecutorLike]) -> bool:
+    """True when the caller resolves ``executor`` itself and must close it.
+
+    Entry points that accept ``executor="process"``-style names construct
+    the pool on behalf of the caller and are responsible for closing it
+    (releasing workers and unlinking shared memory) before returning; an
+    instance belongs to whoever created it.
+    """
+    return executor is None or isinstance(executor, str)
+
+
+_MISSING = object()
 
 
 def run_tasks(
@@ -106,26 +278,42 @@ def run_tasks(
 
     Cached entries are returned as-is; only the misses are submitted to the
     executor, and their results are written back under the corresponding
-    ``keys``.  The returned list always follows the payload order.
+    ``keys``.  Duplicate keys are computed (and stored) **once** and the
+    result is fanned out to every occurrence — the returned list always
+    follows the payload order.  When ``executor`` is a name (or None) the
+    pool created here is closed before returning; instances are left open
+    for their owner.
     """
     payloads = list(payloads)
+    owned = executor_is_owned(executor)
     executor = get_executor(executor, max_workers)
-    if cache is None or keys is None:
-        return executor.run(fn, payloads)
-    if len(keys) != len(payloads):
-        raise ValueError(f"{len(keys)} keys for {len(payloads)} payloads")
+    try:
+        if cache is None or keys is None:
+            return executor.run(fn, payloads)
+        if len(keys) != len(payloads):
+            raise ValueError(f"{len(keys)} keys for {len(payloads)} payloads")
 
-    results: List[Any] = [None] * len(payloads)
-    pending: List[int] = []
-    for i, key in enumerate(keys):
-        hit, value = cache.get(key)
-        if hit:
-            results[i] = value
-        else:
-            pending.append(i)
-    if pending:
-        fresh = executor.run(fn, [payloads[i] for i in pending])
-        for i, value in zip(pending, fresh):
-            cache.put(keys[i], value)
-            results[i] = value
-    return results
+        results: List[Any] = [_MISSING] * len(payloads)
+        canonical: Dict[str, int] = {}  # key -> first index carrying it
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            if key in canonical:
+                continue  # duplicate: resolved by fan-out below
+            canonical[key] = i
+            hit, value = cache.get(key)
+            if hit:
+                results[i] = value
+            else:
+                pending.append(i)
+        if pending:
+            fresh = executor.run(fn, [payloads[i] for i in pending])
+            for i, value in zip(pending, fresh):
+                cache.put(keys[i], value)
+                results[i] = value
+        for i, key in enumerate(keys):
+            if results[i] is _MISSING:
+                results[i] = results[canonical[key]]
+        return results
+    finally:
+        if owned:
+            executor.close()

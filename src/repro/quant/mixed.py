@@ -164,9 +164,15 @@ def explore_mixed_precision(
     -------
     One :class:`QuantizedPoint` per scheme, sorted by memory footprint.
     """
-    from ..parallel import fingerprint, run_tasks
+    from ..parallel import executor_is_owned, fingerprint, get_executor, run_tasks
 
     config = config or QATConfig()
+    owned = executor_is_owned(executor)
+    executor = get_executor(executor, max_workers)
+    # Shared-memory handoff of the (large) datasets; a no-op for the
+    # serial/thread executors and content-identical for fingerprints.
+    train_set = executor.share_dataset(train_set)
+    val_set = executor.share_dataset(val_set)
     num_layers = count_quantizable_layers(fp_model)
     if schemes is None:
         schemes = enumerate_schemes(num_layers, first_layer_bits=8)
@@ -187,14 +193,17 @@ def explore_mixed_precision(
             )
             for scheme, child in zip(schemes, children)
         ]
-    points = run_tasks(
-        _qat_task,
-        payloads,
-        executor=executor,
-        max_workers=max_workers,
-        cache=cache,
-        keys=keys,
-    )
+    try:
+        points = run_tasks(
+            _qat_task,
+            payloads,
+            executor=executor,
+            cache=cache,
+            keys=keys,
+        )
+    finally:
+        if owned:
+            executor.close()
     if config.verbose:
         for point in points:
             print(point.describe())

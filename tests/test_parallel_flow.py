@@ -18,6 +18,7 @@ from repro.parallel import (
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
+    ThreadExecutor,
     fingerprint,
     get_executor,
     run_tasks,
@@ -30,6 +31,24 @@ TINY_SEARCH = dict(warmup_epochs=0, search_epochs=1, finetune_epochs=1, batch_si
 
 def _double(x):
     return 2 * x
+
+
+_CALL_LOG = []
+
+
+def _logged_double(x):
+    _CALL_LOG.append(x)
+    return 2 * x
+
+
+class _Slotted:
+    """__slots__-only payload object (no __dict__) for fingerprint tests."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
 
 
 def _arch_signature(points):
@@ -67,8 +86,19 @@ class TestExecutors:
         assert isinstance(get_executor("serial"), SerialExecutor)
         proc = get_executor("process", max_workers=3)
         assert isinstance(proc, ProcessExecutor) and proc.max_workers == 3
+        threads = get_executor("thread", max_workers=2)
+        assert isinstance(threads, ThreadExecutor) and threads.max_workers == 2
         # Instances pass through untouched.
         assert get_executor(proc) is proc
+
+    def test_max_workers_with_instance_warns(self):
+        """Regression: `max_workers` used to be silently ignored when an
+        executor instance was passed alongside it."""
+        proc = ProcessExecutor(max_workers=2)
+        with pytest.warns(UserWarning, match="max_workers=8 is ignored"):
+            assert get_executor(proc, max_workers=8) is proc
+        assert proc.max_workers == 2
+        proc.close()
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="serial"):
@@ -125,6 +155,18 @@ class TestFingerprint:
         assert fingerprint(seed_builder((4, 4), 6)) == fingerprint(seed_builder((4, 4), 6))
         assert fingerprint(seed_builder((4, 4), 6)) != fingerprint(seed_builder((4, 4), 7))
 
+    def test_slots_objects_hash_their_state(self):
+        """Regression: the generic-object fallback only looked at __dict__,
+        so any two __slots__ instances of a class collided on one digest —
+        poisoning the cache with results from different payloads."""
+        assert fingerprint(_Slotted(1, 2)) == fingerprint(_Slotted(1, 2))
+        assert fingerprint(_Slotted(1, 2)) != fingerprint(_Slotted(1, 3))
+        assert fingerprint(_Slotted(1, 2)) != fingerprint(_Slotted(2, 1))
+        # Unassigned slots are tolerated (and distinct from assigned ones).
+        partial = _Slotted.__new__(_Slotted)
+        partial.a = 1
+        assert fingerprint(partial) != fingerprint(_Slotted(1, 2))
+
     def test_module_fingerprint_covers_non_parameter_buffers(self):
         """Regression: BatchNorm running stats drive eval-mode inference and
         BN folding but are not Parameters; they must invalidate cache keys."""
@@ -171,6 +213,37 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         with pytest.raises(ValueError, match="keys"):
             run_tasks(_double, [1, 2], cache=cache, keys=[fingerprint("k")])
+
+    def test_run_tasks_dedupes_duplicate_keys(self, tmp_path):
+        """Payloads sharing a cache key are computed once and fanned out."""
+        cache = ResultCache(tmp_path)
+        ka, kb = fingerprint("dup", "a"), fingerprint("dup", "b")
+        _CALL_LOG.clear()
+        out = run_tasks(_logged_double, [1, 1, 2, 1], cache=cache,
+                        keys=[ka, ka, kb, ka])
+        assert out == [2, 2, 4, 2]
+        assert _CALL_LOG == [1, 2]  # one computation per distinct key
+        assert cache.misses == 2 and len(cache) == 2
+        # A rerun replays everything from disk without calling fn at all.
+        _CALL_LOG.clear()
+        again = run_tasks(_logged_double, [1, 1, 2, 1], cache=cache,
+                          keys=[ka, ka, kb, ka])
+        assert again == out and _CALL_LOG == [] and cache.hits == 2
+
+    def test_stale_tmp_files_are_swept(self, tmp_path):
+        """Orphaned atomic-write temporaries (a previous process died
+        mid-put) are removed on init and on clear()."""
+        cache_dir = tmp_path / "c"
+        cache = ResultCache(cache_dir)
+        key = fingerprint("keep")
+        cache.put(key, 1)
+        orphan = cache_dir / "deadbeef.pkl.1234.tmp"
+        orphan.write_bytes(b"partial write")
+        assert ResultCache(cache_dir).get(key) == (True, 1)  # entry survives
+        assert not orphan.exists()  # ...but the orphan was swept on init
+        orphan.write_bytes(b"partial write")
+        cache.clear()
+        assert not orphan.exists() and len(cache) == 0
 
 
 class TestTransientBuffers:
@@ -225,6 +298,19 @@ class TestSearchDeterminism:
             seed=11,
             executor="process",
             max_workers=max_workers,
+        )
+        assert _arch_signature(points) == _arch_signature(serial_points)
+
+    def test_thread_pool_is_bit_identical(self, sweep_data, serial_points):
+        train, test = sweep_data
+        points = run_search(
+            seed_builder((6, 6), 8),
+            train,
+            test,
+            config=SearchConfig(lambdas=(1e-5, 5e-4), **TINY_SEARCH),
+            seed=11,
+            executor="thread",
+            max_workers=2,
         )
         assert _arch_signature(points) == _arch_signature(serial_points)
 
