@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import shutil
 import sys
@@ -60,7 +59,7 @@ import numpy as np
 
 from repro.datasets import generate_linaige
 from repro.flow import Preprocessor, seed_builder
-from repro.serve import describe_host
+from repro.serve import available_cpus, describe_host
 from repro.nas.search import SearchConfig, run_search
 from repro.nn import ArrayDataset
 from repro.nn.losses import CrossEntropyLoss, balanced_class_weights
@@ -282,12 +281,12 @@ def main(argv=None) -> int:
     # scheduler thrash, not executor dispatch cost: the headline pools are
     # sized to the machine.  The curves grid still sweeps explicit worker
     # counts, including oversubscribed ones.
-    workers = max(1, min(args.workers, os.cpu_count() or 1))
+    workers = max(1, min(args.workers, available_cpus()))
     train_set, test_set, loss_fn = build_workload(cfg)
     n_schemes = 8  # 4 quantizable layers, first pinned to 8 bits
     print(f"workload: {len(cfg['lambdas'])}-lambda NAS sweep + {n_schemes}-scheme "
           f"QAT exploration, CNN {cfg['conv_channels']}/{cfg['hidden']}, "
-          f"{len(train_set)} train frames, {os.cpu_count()} CPUs")
+          f"{len(train_set)} train frames, {available_cpus()} usable CPUs")
 
     cache_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-flow-cache-"))
     shm_names = set()
@@ -362,7 +361,7 @@ def main(argv=None) -> int:
             "quick": bool(args.quick),
         },
         "host": describe_host(),
-        "cpus": os.cpu_count(),
+        "cpus": available_cpus(),
         "workers": workers,
         "workers_requested": args.workers,
         "task_units": trained,
@@ -396,7 +395,7 @@ def main(argv=None) -> int:
             print(f"FAIL: cached-rerun speedup {results['cached_speedup']:.2f}x "
                   "below the 2.5x floor", file=sys.stderr)
             failed = True
-        cpus = os.cpu_count() or 1
+        cpus = available_cpus()
         floor = 2.5 if cpus >= 4 else 1.0
         if results["parallel_speedup"] < floor:
             print(f"FAIL: process-pool speedup {results['parallel_speedup']:.2f}x "

@@ -19,13 +19,28 @@ at the repository root by default): sustained concurrent sessions,
 throughput per mode, request latency p50/p99, mean micro-batch size, and
 the batched/unbatched speedup (enforced at >=2x in full runs).
 
+With ``--workers N`` (or in full runs, automatically) the same workload
+also exercises the **multi-process pool** (``repro.serve.pool``): sessions
+sharded across N engine worker processes with shared-memory frame
+transport.  Full runs sweep a workers x sessions grid into the ``pool``
+section of the JSON; every cell's outputs are parity-checked against the
+same offline replays and each pool run must leave no ``/dev/shm`` segment
+behind.  Throughput gates scale with the host: with >=4 available CPUs the
+pool must reach >=2.0x the in-process batched baseline; below that there is
+no parallelism to harvest and IPC is pure overhead, so the gate is that the
+pool still beats the unbatched in-process reference path (>=1.0x) — i.e.
+the shared-memory transport costs less than micro-batching wins.
+
 CI runs ``perf_serve.py --quick`` as a smoke job: 4 sessions, bit-exact
 parity vs offline streams, ``/healthz`` + ``/metrics`` checks and a clean
-shutdown — no wall-clock gating (shared runners are too noisy).
+shutdown — no wall-clock gating (shared runners are too noisy).  The
+``serve-pool`` job runs ``--quick --workers 2``: same checks through the
+worker pool plus the shared-memory leak assertion.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_serve.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/perf_serve.py [--quick] [--workers N]
+                                                   [--out PATH]
 """
 
 from __future__ import annotations
@@ -44,7 +59,13 @@ from repro.datasets import generate_linaige
 from repro.engine import ModelBundle
 from repro.flow import Preprocessor, build_seed_cnn
 from repro.quant import PrecisionScheme, quantize_model
-from repro.serve import ServeClient, ServeConfig, describe_host, start_server
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    available_cpus,
+    describe_host,
+    start_server,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -62,6 +83,11 @@ SCHEME = (8, 4, 4, 8)
 
 UNBATCHED = dict(max_batch=1, max_wait_ms=0.0)
 BATCHED = dict(max_batch=32, max_wait_ms=2.0)
+
+# Full-run pool sweep: worker counts x concurrent-session levels.  Each cell
+# reuses the BATCHED knobs inside every worker's own micro-batcher.
+POOL_WORKERS_GRID = (1, 2, 4)
+POOL_SESSIONS_GRID = (4, 8)
 
 
 def build_workload(cfg):
@@ -104,9 +130,14 @@ def offline_reference(engine, streams, window):
     return reference
 
 
-def run_serve(engine, streams, cfg, serve_knobs):
-    """One server run: all sessions stream concurrently; returns timings."""
-    config = ServeConfig(**serve_knobs)
+def run_serve(engine, streams, cfg, serve_knobs, workers=0):
+    """One server run: all sessions stream concurrently; returns timings.
+
+    ``workers>0`` serves through the multi-process pool: every worker is
+    spawned and trace-cache-primed BEFORE the sensors start streaming, so
+    the timings measure steady-state throughput, and the run additionally
+    asserts that no shared-memory ring leaks past shutdown."""
+    config = ServeConfig(workers=workers, **serve_knobs)
     outputs = [None] * len(streams)
     errors = []
     barrier = threading.Barrier(len(streams) + 1, timeout=120)
@@ -131,11 +162,18 @@ def run_serve(engine, streams, cfg, serve_knobs):
             except threading.BrokenBarrierError:
                 pass
 
+    ring_names = []
     with start_server(engine, config=config) as server:
+        if workers:
+            # Spawn + warm every worker now (one throwaway decode each): the
+            # sensors should measure serving, not process startup.
+            server.service.prime(streams[0].shape[1:])
         with ServeClient(server.host, server.port) as probe:
             health = probe.healthz()
             if health["status"] != "ok":
                 raise SystemExit(f"healthz not ok: {health}")
+            if workers and health.get("workers_up") != workers:
+                raise SystemExit(f"expected {workers} primed workers: {health}")
             threads = [
                 threading.Thread(target=sensor, args=(i,)) for i in range(len(streams))
             ]
@@ -159,9 +197,30 @@ def run_serve(engine, streams, cfg, serve_knobs):
             metrics_text = probe.metrics()
         service = server.service
         quantiles = service.metrics.latency_quantiles((0.5, 0.99))
-        mean_batch = service.metrics.mean_batch_size()
         frames_total = service.metrics.counter("frames_total")
-        batches_total = service.metrics.counter("batches_total")
+        if workers:
+            # Batching happened inside the workers: aggregate their
+            # piggybacked snapshots instead of the parent's idle batcher.
+            pool = service.pool_stats()
+            mean_batch = pool["mean_batch_size"]
+            batches_total = pool["batches_total"]
+            ring_names = service.pool.ring_names()
+            if pool["crashes_total"]:
+                raise SystemExit(f"worker crashes during the run: {pool}")
+            if "repro_serve_pool_worker_up" not in metrics_text:
+                raise SystemExit("/metrics is missing the per-worker pool series")
+        else:
+            mean_batch = service.metrics.mean_batch_size()
+            batches_total = service.metrics.counter("batches_total")
+    for name in ring_names:  # pool shutdown must unlink every ring
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        raise SystemExit(f"leaked shared-memory ring after shutdown: {name}")
     n_frames = sum(len(s) for s in streams)
     if frames_total != n_frames:
         raise SystemExit(
@@ -174,6 +233,7 @@ def run_serve(engine, streams, cfg, serve_knobs):
         "stats": {
             "max_batch": serve_knobs["max_batch"],
             "max_wait_ms": serve_knobs["max_wait_ms"],
+            "workers": workers,
             "concurrent_sessions": concurrent,
             "seconds": elapsed,
             "frames_per_sec": n_frames / elapsed,
@@ -197,6 +257,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small workload for CI smoke runs")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="pool-mode worker count: run a single pool cell "
+                             "at N workers instead of the full grid")
     parser.add_argument("--out", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_serve.json",
                         help="where to write the JSON results")
@@ -221,6 +284,41 @@ def main(argv=None) -> int:
     speedup = (
         batched["stats"]["frames_per_sec"] / unbatched["stats"]["frames_per_sec"]
     )
+
+    # ---- the worker pool: a single cell (--workers N) or the full grid ----
+    if args.workers is not None:
+        grid = [(args.workers, cfg["sessions"])]
+    elif args.quick:
+        grid = []  # plain --quick stays the in-process smoke it always was
+    else:
+        grid = [
+            (w, s)
+            for w in POOL_WORKERS_GRID
+            for s in POOL_SESSIONS_GRID
+            if s <= cfg["sessions"]
+        ]
+    pool_cells = []
+    for w, n_sessions in grid:
+        cell_streams = streams[:n_sessions]
+        cell = run_serve(engine, cell_streams, cfg, BATCHED, workers=w)
+        check_parity(f"pool[w={w},s={n_sessions}]", cell["outputs"],
+                     reference[:n_sessions])
+        pool_cells.append(cell["stats"])
+    pool_vs_batched = pool_vs_unbatched = None
+    if pool_cells:
+        # Rate the pool at full concurrency (all sessions, best worker count).
+        best_cell = max(
+            (c for c in pool_cells if c["concurrent_sessions"] == cfg["sessions"]),
+            key=lambda c: c["frames_per_sec"],
+            default=max(pool_cells, key=lambda c: c["frames_per_sec"]),
+        )
+        pool_vs_batched = (
+            best_cell["frames_per_sec"] / batched["stats"]["frames_per_sec"]
+        )
+        pool_vs_unbatched = (
+            best_cell["frames_per_sec"] / unbatched["stats"]["frames_per_sec"]
+        )
+
     results = {
         "workload": {
             "dataset": "linaige-synthetic",
@@ -240,24 +338,64 @@ def main(argv=None) -> int:
         "batched": batched["stats"],
         "batched_speedup": speedup,
     }
+    if pool_cells:
+        cpus = available_cpus()
+        results["pool"] = {
+            "grid": pool_cells,
+            "speedup_vs_batched": pool_vs_batched,
+            "speedup_vs_unbatched": pool_vs_unbatched,
+            "available_cpus": cpus,
+            # The enforced bar (full runs): parallel hosts must show the
+            # parallel win; 1-CPU hosts must at least beat per-frame serving.
+            "gate": (
+                {"baseline": "batched", "floor": 2.0}
+                if cpus >= 4
+                else {"baseline": "unbatched", "floor": 1.0}
+            ),
+        }
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     for label, run in (("unbatched", unbatched), ("batched", batched)):
         s = run["stats"]
         print(f"{label:<9} {s['frames_per_sec']:8.1f} frames/s | "
               f"p50 {s['latency_p50_ms']:6.2f}ms p99 {s['latency_p99_ms']:6.2f}ms | "
               f"mean batch {s['mean_batch_size']:5.2f}")
+    for s in pool_cells:
+        mean_batch = s["mean_batch_size"]
+        batch_txt = f"{mean_batch:5.2f}" if mean_batch is not None else "  n/a"
+        print(f"pool w={s['workers']} s={s['concurrent_sessions']}"
+              f" {s['frames_per_sec']:8.1f} frames/s | "
+              f"p50 {s['latency_p50_ms']:6.2f}ms p99 {s['latency_p99_ms']:6.2f}ms | "
+              f"mean batch {batch_txt}")
     print(f"parity: OK ({cfg['sessions']} sessions bit-identical to offline "
-          f"Engine.stream replays in both modes)")
+          f"Engine.stream replays in every mode)")
     print(f"batched speedup {speedup:.2f}x")
+    if pool_vs_batched is not None:
+        print(f"pool speedup {pool_vs_batched:.2f}x vs in-process batched, "
+              f"{pool_vs_unbatched:.2f}x vs unbatched "
+              f"({available_cpus()} CPUs available)")
     print(f"wrote {args.out}")
 
-    # The quick CI job only enforces parity + endpoint health (all checked
-    # above) — tiny workloads on shared runners are too noisy to gate on
-    # wall-clock.  The full run enforces the 2x acceptance bar.
-    if not args.quick and speedup < 2.0:
-        print(f"FAIL: batched speedup {speedup:.2f}x below the 2x floor",
-              file=sys.stderr)
-        return 1
+    # The quick CI jobs only enforce parity + endpoint health + clean
+    # shutdown (all checked above) — tiny workloads on shared runners are
+    # too noisy to gate on wall-clock.  Full runs enforce the bars: 2x for
+    # in-process batching; for the pool, >=2.0x of the batched baseline on
+    # hosts with >=4 available CPUs, else >=1.0x of the unbatched reference
+    # (on a 1-CPU host IPC cannot beat in-process batching — but it must
+    # still cost less than micro-batching wins).
+    if not args.quick:
+        if speedup < 2.0:
+            print(f"FAIL: batched speedup {speedup:.2f}x below the 2x floor",
+                  file=sys.stderr)
+            return 1
+        if pool_cells:
+            if available_cpus() >= 4:
+                gate_value, floor, base = pool_vs_batched, 2.0, "batched"
+            else:
+                gate_value, floor, base = pool_vs_unbatched, 1.0, "unbatched"
+            if gate_value < floor:
+                print(f"FAIL: pool speedup {gate_value:.2f}x vs {base} below "
+                      f"the {floor:.1f}x floor", file=sys.stderr)
+                return 1
     return 0
 
 

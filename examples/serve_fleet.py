@@ -14,9 +14,16 @@ The example prints each sensor's smoothed occupancy estimate (identical to
 what an offline ``Engine.stream`` replay would produce) and the server's
 final ``/metrics`` snapshot showing how well the fleet's frames batched.
 
-Run with:  PYTHONPATH=src python examples/serve_fleet.py
+With ``--workers N`` the server shards the fleet across N engine worker
+processes (consistent-hash on the session id, frames over shared-memory
+rings); the example then also prints which worker served each sensor and
+the pool's aggregated batching counters.  Results are bit-identical to the
+in-process run either way.
+
+Run with:  PYTHONPATH=src python examples/serve_fleet.py [--workers N]
 """
 
+import argparse
 import threading
 
 import numpy as np
@@ -34,6 +41,15 @@ CHUNK = 8  # frames per HTTP push (a sensor uplink buffer)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="engine worker processes (0 = in-process serving, the default)",
+    )
+    args = parser.parse_args()
+
     rng = np.random.default_rng(1)
     dataset = generate_linaige(seed=3, scale=0.12)
 
@@ -67,11 +83,14 @@ def main() -> None:
     ]
 
     results = [None] * NUM_SENSORS
+    shards = [None] * NUM_SENSORS  # worker index per sensor (pool mode only)
 
     def sensor_node(idx: int, host: str, port: int) -> None:
         stream, _ = streams[idx]
         with ServeClient(host, port) as client:
-            sid = client.open_session(window=5)["session_id"]
+            opened = client.open_session(window=5)
+            sid = opened["session_id"]
+            shards[idx] = opened.get("worker")
             voted = []
             for start in range(0, len(stream), CHUNK):
                 out = client.push(sid, stream[start : start + CHUNK])
@@ -79,8 +98,11 @@ def main() -> None:
             closed = client.close_session(sid)
             results[idx] = (np.asarray(voted), closed["frames_seen"])
 
-    print(f"=== {NUM_SENSORS} sensors -> one serving process ===")
-    with start_server(engine, max_batch=32, max_wait_ms=2.0) as server:
+    pool_note = f", {args.workers} engine workers" if args.workers else ""
+    print(f"=== {NUM_SENSORS} sensors -> one serving process{pool_note} ===")
+    with start_server(
+        engine, max_batch=32, max_wait_ms=2.0, workers=args.workers
+    ) as server:
         print(f"serving {engine.target} on {server.host}:{server.port}")
         nodes = [
             threading.Thread(target=sensor_node, args=(i, server.host, server.port))
@@ -100,6 +122,21 @@ def main() -> None:
             print(
                 f"sensor {idx}: {seen} frames | majority-vote BAS {bas:.3f} | "
                 f"occupancy [{counts}]"
+            )
+
+        if args.workers:
+            by_worker = {}
+            for idx, worker in enumerate(shards):
+                by_worker.setdefault(worker, []).append(f"sensor {idx}")
+            print("\n=== shard map (sha256(session_id) mod workers) ===")
+            for worker in sorted(by_worker):
+                print(f"worker {worker}: {', '.join(by_worker[worker])}")
+            stats = server.service.pool_stats()
+            print(
+                f"pool: {stats['frames_total']} frames in "
+                f"{stats['batches_total']} batches | mean batch "
+                f"{stats['mean_batch_size'] or 0:.2f} | "
+                f"crashes {stats['crashes_total']} restarts {stats['restarts_total']}"
             )
 
         with ServeClient(server.host, server.port) as probe:

@@ -36,16 +36,18 @@ from .executor import (
     get_executor,
     run_tasks,
 )
-from .shm import SharedArray, ShmArena, ShmDescriptor, attach
+from .shm import RingFull, SharedArray, ShmArena, ShmDescriptor, ShmRing, attach
 
 __all__ = [
     "EXECUTORS",
     "ProcessExecutor",
     "ResultCache",
+    "RingFull",
     "SerialExecutor",
     "SharedArray",
     "ShmArena",
     "ShmDescriptor",
+    "ShmRing",
     "ThreadExecutor",
     "attach",
     "executor_is_owned",

@@ -27,6 +27,8 @@ bit-identical whether a dataset is shared or not.
 
 from __future__ import annotations
 
+import struct
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Dict, Optional, Tuple
@@ -221,3 +223,161 @@ class ShmArena:
             self.close()
         except Exception:
             pass
+
+
+# --------------------------------------------------------------------- #
+# SPSC byte ring: the serving pool's frame transport
+# --------------------------------------------------------------------- #
+
+_RING_HEADER = 16  # head: uint64 (producer-owned) | tail: uint64 (consumer-owned)
+
+
+class RingFull(RuntimeError):
+    """A non-blocking ring write found insufficient free space."""
+
+
+def attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a named block WITHOUT registering it with the resource tracker.
+
+    Attaching by name normally registers the segment (bpo-38119), which is
+    doubly wrong for pool workers: the spawned child shares the parent's
+    tracker process, so (a) a worker exiting would unlink segments the
+    parent still owns, and (b) sending ``unregister`` afterwards would
+    delete the parent's own registration of the same name (the tracker
+    dedups by name), making the parent's eventual ``unlink`` complain.
+    Suppressing ``register`` for the duration of the attach sidesteps both;
+    workers attach before starting any threads, so the brief monkeypatch
+    cannot race.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:  # pragma: no cover - tracker internals vary
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmRing:
+    """Single-producer / single-consumer byte ring over one shared block.
+
+    The ring stores *payload bytes only* — no in-band framing.  Producers
+    get back a ``(pos, end)`` pair from :meth:`write` and ship it to the
+    consumer out of band (the serving pool's pipe doorbell); the consumer
+    maps the payload with :meth:`view` and hands the space back with
+    :meth:`release`.  The only shared state is a pair of monotonically
+    increasing 8-byte cursors at the head of the block: ``head`` is written
+    only by the producer, ``tail`` only by the consumer, so aligned 8-byte
+    stores make the ring lock-free between exactly one producer and one
+    consumer (each side may serialize internally).
+
+    Allocations are contiguous: a payload that does not fit before the end
+    of the buffer skips the tail fragment (the skip is accounted in the
+    absolute cursors, so ``release(end)`` frees it implicitly).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.capacity = shm.size - _RING_HEADER
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        shm = shared_memory.SharedMemory(create=True, size=capacity + _RING_HEADER)
+        shm.buf[:_RING_HEADER] = b"\x00" * _RING_HEADER
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        return cls(attach_untracked(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------ #
+    @property
+    def head(self) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, 0)[0]
+
+    @property
+    def tail(self) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, 8)[0]
+
+    def occupancy(self) -> float:
+        """Fraction of the ring currently in flight (0.0 .. 1.0)."""
+        return (self.head - self.tail) / self.capacity
+
+    # ------------------------------------------------------------------ #
+    def write(
+        self,
+        data,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.0002,
+    ) -> Tuple[int, int]:
+        """Copy ``data`` (bytes-like) into the ring; returns ``(pos, end)``.
+
+        ``pos`` is the byte offset of the payload, ``end`` the absolute
+        cursor the consumer must pass to :meth:`release` when done.  Blocks
+        polling for space up to ``timeout`` seconds (``None``: forever);
+        ``timeout=0`` is a non-blocking attempt.  Raises :class:`RingFull`
+        on timeout and ``ValueError`` for payloads larger than the ring.
+        """
+        data = memoryview(data).cast("B")
+        n = data.nbytes
+        if n > self.capacity:
+            raise ValueError(
+                f"payload of {n} bytes exceeds ring capacity {self.capacity}"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        head = self.head
+        while True:
+            pos = head % self.capacity
+            skip = self.capacity - pos if pos + n > self.capacity else 0
+            if (head + skip + n) - self.tail <= self.capacity:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise RingFull(
+                    f"ring {self.name} full ({self.head - self.tail}/"
+                    f"{self.capacity} bytes in flight, need {skip + n})"
+                )
+            time.sleep(poll_s)
+        start = head + skip
+        pos = start % self.capacity
+        offset = _RING_HEADER + pos
+        self._shm.buf[offset : offset + n] = data
+        struct.pack_into("<Q", self._shm.buf, 0, start + n)
+        return pos, start + n
+
+    # ------------------------------------------------------------------ #
+    def view(self, pos: int, nbytes: int) -> memoryview:
+        """Zero-copy view of a payload; drop all references before close."""
+        offset = _RING_HEADER + pos
+        return self._shm.buf[offset : offset + nbytes]
+
+    def release(self, end: int) -> None:
+        """Hand ``[tail, end)`` back to the producer (must be in order)."""
+        struct.pack_into("<Q", self._shm.buf, 8, end)
+
+    # ------------------------------------------------------------------ #
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Unmap the ring; the owning side also unlinks the block."""
+        unlink = self._owner if unlink is None else unlink
+        if unlink:
+            try:
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        try:
+            self._shm.close()
+        except BufferError:
+            # Views are still outstanding; retire the mapping instead of
+            # segfaulting them (same policy as ShmArena.close).
+            _RETIRED.append(self._shm)

@@ -30,6 +30,13 @@ Pieces
 ``make_wsgi_app``  thin WSGI adapter over the same service
 ``ServeClient``    stdlib ``http.client`` client (one per stream)
 ``MicroBatcher``   the bounded FIFO + dispatch thread doing the coalescing
+``PoolServeService``  sharded multi-process pool behind the same front-ends
+
+Scaling out: ``start_server(engine, workers=N)`` shards sessions by
+consistent hash onto N engine worker processes (each with its own engine
+and micro-batcher) with frames travelling through per-worker
+shared-memory rings — same wire protocol, same bit-exact outputs;
+``workers=0`` (the default) is the single-process path above.
 """
 
 from .batcher import FrameResult, MicroBatcher
@@ -41,19 +48,31 @@ from .errors import (
     SessionClosedError,
     ShuttingDownError,
     UnknownSessionError,
+    WorkerCrashedError,
 )
 from .metrics import ServeMetrics, quantile
-from .server import RunningServer, ServeServer, start_server
-from .service import PendingResponse, Response, ServeConfig, ServeService, describe_host
+from .pool import EngineWorkerPool, PoolServeService, WorkerHandle, shard_of
+from .server import RunningServer, ServeServer, make_service, start_server
+from .service import (
+    PendingResponse,
+    Response,
+    ServeConfig,
+    ServeService,
+    available_cpus,
+    describe_host,
+)
 from .sessions import Session, SessionManager
+from .worker import WorkerSpec
 from .wsgi import make_wsgi_app
 
 __all__ = [
     "BadRequestError",
+    "EngineWorkerPool",
     "FrameResult",
     "MicroBatcher",
     "OverloadedError",
     "PendingResponse",
+    "PoolServeService",
     "Response",
     "RunningServer",
     "ServeClient",
@@ -68,8 +87,14 @@ __all__ = [
     "SessionManager",
     "ShuttingDownError",
     "UnknownSessionError",
+    "WorkerCrashedError",
+    "WorkerHandle",
+    "WorkerSpec",
+    "available_cpus",
     "describe_host",
+    "make_service",
     "make_wsgi_app",
     "quantile",
+    "shard_of",
     "start_server",
 ]

@@ -13,25 +13,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from .errors import (
-    BadRequestError,
-    OverloadedError,
-    ServeError,
-    SessionClosedError,
-    ShuttingDownError,
-    UnknownSessionError,
-)
-
-_ERRORS_BY_CODE = {
-    cls.code: cls
-    for cls in (
-        UnknownSessionError,
-        SessionClosedError,
-        OverloadedError,
-        ShuttingDownError,
-        BadRequestError,
-    )
-}
+from .errors import ERRORS_BY_CODE, ServeError
 
 
 class ServeClientError(ServeError):
@@ -75,7 +57,7 @@ class ServeClient:
         if response.status >= 400:
             code = data.get("error", "") if isinstance(data, dict) else ""
             detail = data.get("detail", "") if isinstance(data, dict) else str(data)
-            raise _ERRORS_BY_CODE.get(code, ServeClientError)(detail)
+            raise ERRORS_BY_CODE.get(code, ServeClientError)(detail)
         return data
 
     # ------------------------------------------------------------------ #

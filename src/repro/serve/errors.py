@@ -53,3 +53,30 @@ class BadRequestError(ServeError):
 
     status = 400
     code = "bad_request"
+
+
+class WorkerCrashedError(ServeError):
+    """The engine worker process holding this session's shard died.
+
+    The pool respawns the worker lazily; clients should retry after the
+    advertised delay (the session itself is gone — re-open one).
+    """
+
+    status = 503
+    code = "worker_crashed"
+    headers = {"Retry-After": "1"}
+
+
+#: code -> class, for surfaces that reconstruct errors from their wire form
+#: (the stdlib client, and the pool parent mapping worker-side failures).
+ERRORS_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        UnknownSessionError,
+        SessionClosedError,
+        OverloadedError,
+        ShuttingDownError,
+        BadRequestError,
+        WorkerCrashedError,
+    )
+}

@@ -55,10 +55,17 @@ class ServeMetrics:
         self._batch_sum = 0
         self._batch_n = 0
         self._latencies: deque = deque(maxlen=latency_reservoir)
+        self._renderers: List[Callable[[], str]] = []
 
     # ------------------------------------------------------------------ #
     def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
         self._gauges[name] = fn
+
+    def register_renderer(self, fn: Callable[[], str]) -> None:
+        """Append extra exposition text to ``render()`` (e.g. the worker
+        pool's per-worker labeled series, which don't fit the flat
+        counter/gauge registry)."""
+        self._renderers.append(fn)
 
     def inc(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -107,6 +114,12 @@ class ServeMetrics:
         with self._lock:
             return self._batch_sum / self._batch_n if self._batch_n else None
 
+    def batch_totals(self) -> Tuple[int, int]:
+        """``(sum of batch sizes, number of batches)`` — the aggregatable
+        form of the mean (worker snapshots sum these across processes)."""
+        with self._lock:
+            return self._batch_sum, self._batch_n
+
     # ------------------------------------------------------------------ #
     def render(self) -> str:
         """The ``/metrics`` payload (Prometheus text format, version 0.0.4)."""
@@ -150,4 +163,8 @@ class ServeMetrics:
                 )
         lines.append(f"{_PREFIX}_request_latency_seconds_sum {sum(sample):.9f}")
         lines.append(f"{_PREFIX}_request_latency_seconds_count {len(sample)}")
+        for renderer in self._renderers:
+            extra = renderer().rstrip("\n")
+            if extra:
+                lines.append(extra)
         return "\n".join(lines) + "\n"

@@ -1,0 +1,757 @@
+"""Sharded multi-process serving: the engine worker pool.
+
+The asyncio (or WSGI) front-end stays the single ingress; behind it
+:class:`PoolServeService` replaces the in-process engine with an
+:class:`EngineWorkerPool` of N worker processes, each owning its own
+engine + micro-batcher (see :mod:`repro.serve.worker`).  Sessions are
+sharded onto workers by a consistent hash of the session id, so every
+frame of a session flows through exactly one worker in submission order
+— which is why served outputs stay bit-identical to an offline
+``Engine.stream`` replay for every worker count.
+
+Transport: frame payloads travel parent -> worker through a per-worker
+shared-memory ring (:class:`repro.parallel.shm.ShmRing`), packed results
+come back through a second ring, and a duplex pipe carries the few
+hundred bytes of control data per request (the "doorbell").  No numpy
+array is pickled on the hot path.
+
+Failure model: a worker that dies (segfault, OOM-kill) is detected by
+the parent's pump thread via pipe EOF.  Every in-flight request on that
+worker fails with 503 + ``Retry-After: 1``, its sessions are retired
+(voter state lived in the dead process, so subsequent pushes 404), and
+the next session hashing onto that shard lazily respawns a fresh,
+re-primed worker.  ``/metrics`` reports per-worker ``worker_up``, shard
+sizes, ring occupancy and cumulative crash/restart counters.
+
+Lifecycle: workers spawn lazily — the first session landing on a shard
+pays the spawn + trace-cache priming cost; ``prime()`` (used by the
+benchmark) spawns and warms all of them up front.  ``stop(drain=True)``
+sends each worker a ``drain`` op, which flushes its batcher queue and
+replies to every outstanding frame before the "drained" ack, so graceful
+shutdown never drops an in-flight frame.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing as mp
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..parallel.shm import RingFull, ShmRing
+from .batcher import FrameResult
+from .errors import (
+    ERRORS_BY_CODE,
+    BadRequestError,
+    OverloadedError,
+    ServeError,
+    ShuttingDownError,
+    UnknownSessionError,
+    WorkerCrashedError,
+)
+from .service import PendingResponse, ServeConfig, ServeService
+from .worker import READY_REQ, RESULT_FIELDS, WorkerSpec, worker_main
+
+
+def shard_of(session_id: str, workers: int) -> int:
+    """Consistent shard of a session id: sha256 is stable across processes
+    and Python runs (unlike ``hash()`` under PYTHONHASHSEED)."""
+    digest = hashlib.sha256(session_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+class WorkerHandle:
+    """Parent-side endpoint of one engine worker process.
+
+    Owns the process, both rings, the doorbell pipe and the pump thread
+    that drains worker replies.  All request/lifecycle state transitions
+    happen under ``_lock``; process (re)spawn is serialized by
+    ``_spawn_lock`` so two sessions racing onto a cold shard start it
+    exactly once.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: WorkerSpec,
+        config: ServeConfig,
+        ctx,
+        on_crash: Optional[Callable[["WorkerHandle"], None]] = None,
+    ):
+        self.index = index
+        self.state = "new"  # new | up | dead | stopped
+        self.restarts = 0  # successful respawns after a crash
+        self.sessions: set = set()  # parent-side shard map
+        self.last_stats: Dict[str, float] = {}
+        self.inflight = 0  # frames written to the ring, result not yet back
+        self._spec = spec
+        self._config = config
+        self._ctx = ctx
+        self._on_crash = on_crash
+        self._lock = threading.Lock()
+        self._spawn_lock = threading.Lock()
+        self._next_req = 0
+        self._pending: Dict[int, Tuple[int, Future]] = {}  # req -> (n_frames, fut)
+        self._proc = None
+        self._conn = None
+        self._req_ring: Optional[ShmRing] = None
+        self._resp_ring: Optional[ShmRing] = None
+        self._pump_thread: Optional[threading.Thread] = None
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def alive(self) -> bool:
+        return self.state == "up" and self._proc is not None and self._proc.is_alive()
+
+    def ensure_started(self, prime_shape: Optional[Tuple[int, ...]] = None) -> None:
+        """Spawn (or respawn after a crash) if this shard is cold."""
+        with self._spawn_lock:
+            if self.state == "up":
+                return
+            if self.state == "stopped":
+                raise ShuttingDownError("worker pool is stopped")
+            respawn = self.state == "dead"
+            self._start()
+            if respawn:
+                self.restarts += 1
+            if prime_shape is not None:
+                self.rpc(
+                    "prime",
+                    timeout=self._config.worker_start_timeout_s,
+                    shape=tuple(int(d) for d in prime_shape),
+                )
+
+    def _start(self) -> None:
+        config = self._config
+        self._draining = False
+        self._req_ring = ShmRing.create(config.ring_bytes)
+        self._resp_ring = ShmRing.create(config.ring_bytes)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self._conn = parent_conn
+        knobs = {
+            "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms,
+            "max_queue": config.max_queue,
+            "max_session_queue": config.max_session_queue,
+        }
+        self._proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                self._spec,
+                knobs,
+                self._req_ring.name,
+                self._resp_ring.name,
+                child_conn,
+                self.index,
+            ),
+            name=f"repro-serve-worker-{self.index}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()  # the worker holds the other end now
+        # Synchronous readiness handshake before the pump owns the pipe.
+        try:
+            if not parent_conn.poll(config.worker_start_timeout_s):
+                raise WorkerCrashedError(
+                    f"engine worker {self.index} did not come up within "
+                    f"{config.worker_start_timeout_s:.0f}s"
+                )
+            ready = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            self._teardown(unlink=True)
+            raise WorkerCrashedError(
+                f"engine worker {self.index} died during startup"
+            ) from exc
+        except WorkerCrashedError:
+            self._teardown(unlink=True)
+            raise
+        if ready.get("req") != READY_REQ or "error" in ready:
+            detail = ready.get("error", {}).get("detail", "bad handshake")
+            self._teardown(unlink=True)
+            raise WorkerCrashedError(
+                f"engine worker {self.index} failed to start: {detail}"
+            )
+        with self._lock:
+            self.state = "up"
+            self.inflight = 0
+            self._pending = {}
+        self._pump_thread = threading.Thread(
+            target=self._pump, name=f"repro-serve-pump-{self.index}", daemon=True
+        )
+        self._pump_thread.start()
+
+    # ------------------------------------------------------------------ #
+    def _pump(self) -> None:
+        """Drain worker replies: decode results out of the response ring and
+        resolve the matching futures.  Pipe EOF without a drain in progress
+        means the worker crashed."""
+        conn = self._conn
+        resp_ring = self._resp_ring
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            stats = msg.get("stats")
+            if stats:
+                self.last_stats = stats
+            with self._lock:
+                entry = self._pending.pop(msg.get("req"), None)
+            if entry is None:
+                continue
+            n, future = entry
+            if "error" in msg:
+                err = msg["error"]
+                exc_cls = ERRORS_BY_CODE.get(err.get("code"), ServeError)
+                with self._lock:
+                    self.inflight -= n
+                future.set_exception(exc_cls(err.get("detail", "")))
+            elif "result" in msg:
+                ref = msg["result"]
+                count = int(ref["count"])
+                view = resp_ring.view(ref["pos"], count * RESULT_FIELDS * 8)
+                packed = (
+                    np.frombuffer(view, dtype=np.float64)
+                    .reshape(count, RESULT_FIELDS)
+                    .copy()
+                )
+                del view
+                resp_ring.release(ref["end"])
+                results = [
+                    FrameResult(
+                        seq=int(row[0]),
+                        raw=int(row[1]),
+                        voted=int(row[2]),
+                        cycles=None if row[3] < 0 else int(row[3]),
+                        energy_uj=None if math.isnan(row[4]) else float(row[4]),
+                    )
+                    for row in packed
+                ]
+                with self._lock:
+                    self.inflight -= n
+                future.set_result(results)
+            else:
+                with self._lock:
+                    self.inflight -= n
+                future.set_result(msg.get("payload"))
+        if self._draining:
+            with self._lock:
+                self.state = "stopped"
+        else:
+            self._mark_dead()
+
+    def _mark_dead(self) -> None:
+        with self._lock:
+            if self.state != "up":
+                return
+            self.state = "dead"
+            pending, self._pending = self._pending, {}
+            self.inflight = 0
+        exc = WorkerCrashedError(
+            f"engine worker {self.index} died unexpectedly; session state lost"
+        )
+        for _, future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._teardown(unlink=True)
+        if self._on_crash is not None:
+            self._on_crash(self)
+
+    def _teardown(self, unlink: bool) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        proc, self._proc = self._proc, None
+        if proc is not None:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for attr in ("_req_ring", "_resp_ring"):
+            ring = getattr(self, attr)
+            setattr(self, attr, None)
+            if ring is not None:
+                ring.close(unlink=unlink)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, session_id: str, frames: np.ndarray, max_queue: int) -> Future:
+        """Ship one frames payload to the worker; returns the result future.
+
+        Reject-not-block: a full worker queue or a full request ring raises
+        :class:`OverloadedError` (HTTP 429) instead of stalling the ingress.
+        """
+        frames = np.ascontiguousarray(frames, dtype=np.float64)
+        n = int(frames.shape[0])
+        payload = memoryview(frames).cast("B")
+        with self._lock:
+            if self.state != "up":
+                raise WorkerCrashedError(f"engine worker {self.index} is down")
+            if self.inflight + n > max_queue:
+                raise OverloadedError(
+                    f"worker {self.index} queue full "
+                    f"({self.inflight}/{max_queue} frames in flight)"
+                )
+            try:
+                pos, end = self._req_ring.write(payload, timeout=0.0)
+            except RingFull as exc:
+                raise OverloadedError(
+                    f"worker {self.index} request ring full"
+                ) from exc
+            req = self._next_req
+            self._next_req += 1
+            future: Future = Future()
+            self._pending[req] = (n, future)
+            self.inflight += n
+            try:
+                self._conn.send(
+                    {
+                        "op": "frames",
+                        "req": req,
+                        "sid": session_id,
+                        "pos": pos,
+                        "end": end,
+                        "shape": frames.shape,
+                        "dtype": frames.dtype.str,
+                    }
+                )
+            except (BrokenPipeError, OSError) as exc:
+                # The pump will observe EOF and run the full crash path;
+                # fail this caller immediately.
+                self._pending.pop(req, None)
+                self.inflight -= n
+                raise WorkerCrashedError(
+                    f"engine worker {self.index} is down"
+                ) from exc
+        return future
+
+    def _enqueue_rpc(self, op: str, payload: dict) -> Future:
+        with self._lock:
+            if self.state != "up":
+                raise WorkerCrashedError(f"engine worker {self.index} is down")
+            req = self._next_req
+            self._next_req += 1
+            future: Future = Future()
+            self._pending[req] = (0, future)
+            try:
+                self._conn.send({"op": op, "req": req, **payload})
+            except (BrokenPipeError, OSError) as exc:
+                self._pending.pop(req, None)
+                raise WorkerCrashedError(
+                    f"engine worker {self.index} is down"
+                ) from exc
+        return future
+
+    def rpc(self, op: str, timeout: float = 30.0, **payload):
+        """Blocking control round-trip (open/close/prime/stats/drain)."""
+        future = self._enqueue_rpc(op, payload)
+        try:
+            return future.result(timeout=timeout)
+        except TimeoutError as exc:
+            raise ServeError(
+                f"engine worker {self.index} {op!r} timed out after {timeout:.0f}s"
+            ) from exc
+
+    def rpc_nowait(self, op: str, **payload) -> None:
+        """Fire-and-forget control message (session retirement on eviction)."""
+        try:
+            future = self._enqueue_rpc(op, payload)
+        except ServeError:
+            return  # worker already gone: nothing to retire
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: float = 60.0) -> None:
+        """Flush the worker's batcher queue, then shut the process down.
+
+        The ``drain`` op is pipelined behind any frames already written, so
+        every in-flight request resolves before the "drained" ack."""
+        with self._lock:
+            if self.state != "up":
+                self.state = "stopped"
+                return
+            self._draining = True
+        try:
+            self.rpc("drain", timeout=timeout)
+        except ServeError:  # died mid-drain: fall through to teardown
+            pass
+        pump = self._pump_thread
+        if pump is not None:
+            pump.join(timeout=5)
+            self._pump_thread = None
+        with self._lock:
+            self.state = "stopped"
+        self._teardown(unlink=True)
+
+    def abort(self) -> None:
+        """Immediate shutdown: terminate the process, drop in-flight work."""
+        with self._lock:
+            if self.state not in ("up", "dead"):
+                self.state = "stopped"
+                return
+            self._draining = True  # pump EOF -> stopped, not crashed
+            pending, self._pending = self._pending, {}
+            self.inflight = 0
+            self.state = "stopped"
+        exc = ShuttingDownError("server stopped")
+        for _, future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        proc = self._proc
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+        self._teardown(unlink=True)
+        pump = self._pump_thread
+        if pump is not None:
+            pump.join(timeout=5)
+            self._pump_thread = None
+
+    def kill(self) -> None:
+        """Test hook: SIGKILL the worker (simulates a crash; the pump thread
+        observes pipe EOF and runs the normal crash path)."""
+        proc = self._proc
+        if proc is not None and proc.is_alive():
+            proc.kill()
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        d = {
+            "up": 1 if self.alive else 0,
+            "state": self.state,
+            "sessions": len(self.sessions),
+            "inflight": self.inflight,
+            "restarts": self.restarts,
+            "stats": dict(self.last_stats),
+        }
+        req_ring, resp_ring = self._req_ring, self._resp_ring
+        try:
+            if req_ring is not None:
+                d["req_ring_occupancy"] = req_ring.occupancy()
+            if resp_ring is not None:
+                d["resp_ring_occupancy"] = resp_ring.occupancy()
+        except (ValueError, OSError):  # racing a teardown
+            pass
+        return d
+
+    def ring_names(self) -> List[str]:
+        return [
+            ring.name for ring in (self._req_ring, self._resp_ring) if ring is not None
+        ]
+
+
+class EngineWorkerPool:
+    """N lazily-spawned engine workers plus the shard routing between them."""
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        config: ServeConfig,
+        on_crash: Optional[Callable[[WorkerHandle], None]] = None,
+    ):
+        if config.workers < 1:
+            raise ValueError("EngineWorkerPool needs workers >= 1")
+        self.config = config
+        self.crashes_total = 0
+        self._on_crash = on_crash
+        self._stopping = False
+        self._frame_shape: Optional[Tuple[int, ...]] = None
+        ctx = mp.get_context(config.mp_context)
+        self.handles = [
+            WorkerHandle(i, spec, config, ctx, on_crash=self._crashed)
+            for i in range(config.workers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        return len(self.handles)
+
+    def shard_of(self, session_id: str) -> int:
+        return shard_of(session_id, self.workers)
+
+    def handle(self, session_id: str) -> WorkerHandle:
+        return self.handles[self.shard_of(session_id)]
+
+    def _crashed(self, handle: WorkerHandle) -> None:
+        self.crashes_total += 1
+        if self._on_crash is not None:
+            self._on_crash(handle)
+
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self,
+        session_id: str,
+        window: Optional[int] = None,
+        num_classes: Optional[int] = None,
+    ) -> int:
+        """Mirror a parent-allocated session on its shard's worker; returns
+        the worker index.  Spawns (and re-primes) the worker if cold."""
+        if self._stopping:
+            raise ShuttingDownError("worker pool is draining")
+        h = self.handle(session_id)
+        h.ensure_started(prime_shape=self._frame_shape)
+        h.rpc("open", sid=session_id, window=window, num_classes=num_classes)
+        h.sessions.add(session_id)
+        return h.index
+
+    def submit(self, session_id: str, frames: np.ndarray) -> Future:
+        if self._frame_shape is None and getattr(frames, "ndim", 0) == 4:
+            self._frame_shape = tuple(int(d) for d in frames.shape[1:])
+        return self.handle(session_id).submit(session_id, frames, self.config.max_queue)
+
+    def close_session(self, session_id: str) -> Optional[dict]:
+        """Close on the worker; None when the worker is gone (the caller
+        falls back to the parent-side describe)."""
+        h = self.handle(session_id)
+        h.sessions.discard(session_id)
+        try:
+            return h.rpc("close", sid=session_id)
+        except ServeError:
+            return None
+
+    def retire_session(self, session_id: str) -> None:
+        """Fire-and-forget close (TTL eviction path)."""
+        h = self.handle(session_id)
+        h.sessions.discard(session_id)
+        h.rpc_nowait("close", sid=session_id)
+
+    def prime(self, frame_shape: Tuple[int, ...]) -> None:
+        """Spawn every worker and warm each one's trace cache now (one
+        decode per worker) instead of on first traffic."""
+        self._frame_shape = tuple(int(d) for d in frame_shape)
+        for h in self.handles:
+            h.ensure_started(prime_shape=self._frame_shape)
+
+    # ------------------------------------------------------------------ #
+    def stop(self, drain: bool = True) -> None:
+        self._stopping = True
+        for h in self.handles:
+            if drain:
+                h.drain()
+            else:
+                h.abort()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def inflight(self) -> int:
+        return sum(h.inflight for h in self.handles)
+
+    def workers_up(self) -> int:
+        return sum(1 for h in self.handles if h.alive)
+
+    def restarts_total(self) -> int:
+        return sum(h.restarts for h in self.handles)
+
+    def shard_map(self) -> Dict[int, List[str]]:
+        return {h.index: sorted(h.sessions) for h in self.handles}
+
+    def describe_workers(self) -> List[dict]:
+        return [h.describe() for h in self.handles]
+
+    def ring_names(self) -> List[str]:
+        names: List[str] = []
+        for h in self.handles:
+            names.extend(h.ring_names())
+        return names
+
+
+class PoolServeService(ServeService):
+    """ServeService whose engine work runs on a sharded worker pool.
+
+    The parent keeps the authoritative session registry (ids, TTLs,
+    backpressure bookkeeping); each worker mirrors the sessions of its
+    shard and owns the voter state.  HTTP semantics, routing and the
+    ``/metrics`` core are inherited unchanged — this class swaps the
+    in-process batcher for pool dispatch and adds the pool telemetry.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[ServeConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        config = config or ServeConfig(workers=1)
+        if config.workers < 1:
+            raise ValueError("PoolServeService needs config.workers >= 1")
+        spec = WorkerSpec.from_engine(engine)  # validate before building state
+        super().__init__(engine, config, clock)
+        self.pool = EngineWorkerPool(spec, self.config, on_crash=self._worker_crashed)
+        self.sessions.on_evict = self._session_evicted
+        # The parent's batcher is never started: queue depth is the pool's
+        # in-flight frame count instead.
+        self.metrics.register_gauge("queue_depth", lambda: self.pool.inflight)
+        self.metrics.register_gauge("pool_workers", lambda: self.pool.workers)
+        self.metrics.register_gauge("pool_workers_up", lambda: self.pool.workers_up())
+        self.metrics.register_renderer(self._render_pool)
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        # Workers spawn lazily on first session per shard; nothing to do.
+        self._started = True
+        self._stopping = False
+
+    def stop(self, drain: bool = True) -> None:
+        self._stopping = True
+        self.pool.stop(drain=drain)
+        self.sessions.close_all()
+        self._started = False
+
+    def prime(self, frame_shape) -> None:
+        """Spawn + warm every worker up front (benchmarks, smoke tests)."""
+        self.pool.prime(frame_shape)
+
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self, window: Optional[int] = None, num_classes: Optional[int] = None
+    ) -> dict:
+        if not self.accepting:
+            raise ShuttingDownError("server is draining")
+        try:
+            session = self.sessions.open(window=window, num_classes=num_classes)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from exc
+        try:
+            worker = self.pool.open_session(
+                session.id, window=window, num_classes=num_classes
+            )
+        except BaseException:
+            # Roll the parent registration back so a failed spawn/RPC does
+            # not leave a session no worker knows about.
+            try:
+                self.sessions.close(session.id)
+            except UnknownSessionError:
+                pass
+            raise
+        self.metrics.inc("sessions_opened_total")
+        return {
+            "session_id": session.id,
+            "window": session.window,
+            "num_classes": session.num_classes,
+            "target": getattr(self.engine, "target", "unknown"),
+            "worker": worker,
+            "config": self.config.as_json(),
+        }
+
+    def submit_frames(self, session_id: str, frames: np.ndarray) -> PendingResponse:
+        session = self.sessions.get(session_id)
+        if self._stopping:
+            raise ShuttingDownError("server is draining")
+        n = int(frames.shape[0])
+        if session.pending + n > self.config.max_session_queue:
+            raise OverloadedError(
+                f"session {session_id} queue full "
+                f"({session.pending}/{self.config.max_session_queue})"
+            )
+        future = self.pool.submit(session_id, frames)
+        with session.lock:
+            session.pending += n
+            session.next_seq += n
+            session.touch(self._clock())
+        future.add_done_callback(lambda f, s=session, n=n: self._settle(s, n, f))
+        return PendingResponse(
+            future=future, session_id=session_id, count=n, _metrics=self.metrics
+        )
+
+    def _settle(self, session, n: int, future: Future) -> None:
+        with session.lock:
+            session.pending -= n
+        if future.exception() is None:
+            with session.lock:
+                session.frames_done += n
+            self.metrics.inc("frames_total", n)
+
+    def close_session(self, session_id: str) -> dict:
+        session = self.sessions.close(session_id)
+        payload = self.pool.close_session(session_id)
+        self.metrics.inc("sessions_closed_total")
+        # The worker's describe carries the authoritative frames_seen; fall
+        # back to the parent's view if the worker is already gone.
+        return payload if payload is not None else session.describe()
+
+    # ------------------------------------------------------------------ #
+    def _session_evicted(self, session) -> None:
+        self.pool.retire_session(session.id)
+
+    def _worker_crashed(self, handle: WorkerHandle) -> None:
+        """Voter state of the dead worker's sessions is unrecoverable:
+        retire them parent-side so the next push gets a clean 404 and the
+        client re-opens (landing on the respawned worker)."""
+        self.metrics.inc("pool_worker_crashes_total")
+        for sid in list(handle.sessions):
+            try:
+                self.sessions.close(sid)
+            except UnknownSessionError:
+                pass
+        handle.sessions.clear()
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Tuple[int, dict]:
+        status, payload = super().healthz()
+        payload["queue_depth"] = self.pool.inflight
+        payload["workers"] = self.pool.workers
+        payload["workers_up"] = self.pool.workers_up()
+        return status, payload
+
+    def pool_stats(self) -> dict:
+        """Aggregated per-worker batching counters (piggybacked snapshots)."""
+        frames = batches = batch_sum = batch_n = 0
+        for h in self.pool.handles:
+            stats = h.last_stats
+            frames += int(stats.get("frames_total", 0))
+            batches += int(stats.get("batches_total", 0))
+            batch_sum += int(stats.get("batch_sum", 0))
+            batch_n += int(stats.get("batch_n", 0))
+        return {
+            "frames_total": frames,
+            "batches_total": batches,
+            "mean_batch_size": (batch_sum / batch_n) if batch_n else None,
+            "workers": self.pool.workers,
+            "workers_up": self.pool.workers_up(),
+            "crashes_total": self.pool.crashes_total,
+            "restarts_total": self.pool.restarts_total(),
+        }
+
+    def _render_pool(self) -> str:
+        """Per-worker labeled series appended to the ``/metrics`` payload."""
+        p = "repro_serve_pool"
+        lines = [
+            f"# TYPE {p}_worker_restarts_total counter",
+            f"{p}_worker_restarts_total {self.pool.restarts_total()}",
+            f"# TYPE {p}_worker_up gauge",
+        ]
+        described = self.pool.describe_workers()
+        for i, d in enumerate(described):
+            lines.append(f'{p}_worker_up{{worker="{i}"}} {d["up"]}')
+        lines.append(f"# TYPE {p}_shard_sessions gauge")
+        for i, d in enumerate(described):
+            lines.append(f'{p}_shard_sessions{{worker="{i}"}} {d["sessions"]}')
+        lines.append(f"# TYPE {p}_inflight_frames gauge")
+        for i, d in enumerate(described):
+            lines.append(f'{p}_inflight_frames{{worker="{i}"}} {d["inflight"]}')
+        lines.append(f"# TYPE {p}_ring_occupancy gauge")
+        for i, d in enumerate(described):
+            for ring, key in (("requests", "req_ring_occupancy"), ("results", "resp_ring_occupancy")):
+                if key in d:
+                    lines.append(
+                        f'{p}_ring_occupancy{{worker="{i}",ring="{ring}"}} {d[key]:.6f}'
+                    )
+        lines.append(f"# TYPE {p}_worker_frames_total counter")
+        for i, d in enumerate(described):
+            frames = int(d["stats"].get("frames_total", 0))
+            lines.append(f'{p}_worker_frames_total{{worker="{i}"}} {frames}')
+        lines.append(f"# TYPE {p}_worker_batches_total counter")
+        for i, d in enumerate(described):
+            batches = int(d["stats"].get("batches_total", 0))
+            lines.append(f'{p}_worker_batches_total{{worker="{i}"}} {batches}')
+        return "\n".join(lines)

@@ -48,6 +48,18 @@ _REASONS = {
 }
 
 
+def make_service(engine, config: Optional[ServeConfig] = None) -> ServeService:
+    """Build the serving core for ``engine``: in-process for ``workers=0``
+    (the default — today's exact single-engine path), the sharded
+    multi-process :class:`~repro.serve.pool.PoolServeService` otherwise."""
+    config = config or ServeConfig()
+    if config.workers and config.workers > 0:
+        from .pool import PoolServeService  # deferred: pool imports service
+
+        return PoolServeService(engine, config)
+    return ServeService(engine, config)
+
+
 class ServeServer:
     """One engine served over HTTP/1.1 on an asyncio event loop."""
 
@@ -60,7 +72,7 @@ class ServeServer:
         eviction_interval_s: Optional[float] = None,
     ):
         self.service = (
-            engine if isinstance(engine, ServeService) else ServeService(engine, config)
+            engine if isinstance(engine, ServeService) else make_service(engine, config)
         )
         self.host = host
         self.port = port  # 0: ephemeral; replaced by the bound port on start
@@ -204,11 +216,15 @@ class ServeServer:
 
     async def _write_response(self, writer, response: Response, keep_alive: bool) -> None:
         reason = _REASONS.get(response.status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (response.headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {response.status} {reason}\r\n"
             f"Content-Type: {response.content_type}\r\n"
             f"Content-Length: {len(response.body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + response.body)
@@ -303,8 +319,11 @@ def start_server(
     """Serve ``engine`` over HTTP on a background thread.
 
     ``config_kwargs`` (e.g. ``max_batch=32, max_wait_ms=2.0``) build a
-    :class:`ServeConfig` when ``config`` is not given.  Returns a started
-    :class:`RunningServer`; use it as a context manager or call ``stop()``.
+    :class:`ServeConfig` when ``config`` is not given.  ``workers=N``
+    shards sessions across N engine worker processes (shared-memory frame
+    transport; see :mod:`repro.serve.pool`); ``workers=0`` — the default —
+    is the single-process path.  Returns a started :class:`RunningServer`;
+    use it as a context manager or call ``stop()``.
     """
     if config is None:
         config = ServeConfig(**config_kwargs)

@@ -69,6 +69,7 @@ class SessionManager:
         default_window: int = 5,
         num_classes: int = 4,
         clock: Callable[[], float] = time.monotonic,
+        on_evict: Optional[Callable[[Session], None]] = None,
     ):
         if ttl_s <= 0:
             raise ValueError("ttl_s must be positive")
@@ -78,6 +79,10 @@ class SessionManager:
         self._clock = clock
         self._sessions: Dict[str, Session] = {}
         self._lock = threading.Lock()
+        #: called (outside the registry lock) for every TTL-evicted session,
+        #: both from the sweeper and from lazy eviction in :meth:`get` — the
+        #: worker pool uses this to retire the session on its shard's worker.
+        self.on_evict = on_evict
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -85,10 +90,18 @@ class SessionManager:
             return len(self._sessions)
 
     def open(
-        self, window: Optional[int] = None, num_classes: Optional[int] = None
+        self,
+        window: Optional[int] = None,
+        num_classes: Optional[int] = None,
+        session_id: Optional[str] = None,
     ) -> Session:
+        """Register a new session (``session_id=None``: a fresh uuid).
+
+        Explicit ids exist for the worker pool, whose worker processes
+        mirror the sessions the parent allocated.
+        """
         session = Session(
-            session_id=uuid.uuid4().hex[:16],
+            session_id=session_id or uuid.uuid4().hex[:16],
             window=int(window) if window is not None else self.default_window,
             num_classes=int(num_classes) if num_classes is not None else self.num_classes,
             now=self._clock(),
@@ -100,13 +113,16 @@ class SessionManager:
     def get(self, session_id: str) -> Session:
         """Look up a session, lazily evicting it if its TTL has expired."""
         now = self._clock()
+        expired = None
         with self._lock:
             session = self._sessions.get(session_id)
             if session is not None and now - session.last_active > self.ttl_s:
                 self._sessions.pop(session_id, None)
                 with session.lock:
                     session.closed = True
-                session = None
+                expired, session = session, None
+        if expired is not None and self.on_evict is not None:
+            self.on_evict(expired)
         if session is None:
             raise UnknownSessionError(f"no session {session_id!r}")
         return session
@@ -140,6 +156,8 @@ class SessionManager:
         for session in evicted:
             with session.lock:
                 session.closed = True
+            if self.on_evict is not None:
+                self.on_evict(session)
         return evicted
 
     def ids(self) -> List[str]:

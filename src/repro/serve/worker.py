@@ -1,0 +1,317 @@
+"""The engine worker process of the serving pool.
+
+One worker owns one compiled :class:`~repro.engine.Engine`, one
+:class:`~repro.serve.batcher.MicroBatcher` and the session mirrors of its
+shard — the same pieces the in-process server uses, just isolated in a
+process so N workers beat the GIL on the stats/voting paths.  The parent
+talks to it over a duplex pipe (the "doorbell": a few hundred bytes of
+control data per request) while frame payloads arrive through a
+shared-memory :class:`~repro.parallel.shm.ShmRing` and packed results
+leave through a second ring — no numpy array is ever pickled on the hot
+path.
+
+Protocol (all control messages are small dicts over the pipe):
+
+========  =============================================================
+op        meaning
+========  =============================================================
+frames    run a ``(N, C, H, W)`` payload at ``(pos, end)`` in the
+          request ring through the batcher for session ``sid``
+open      mirror a parent-allocated session (explicit ``sid``)
+close     retire a session; replies with its ``describe()``
+prime     one throwaway batch to warm the trace cache / numpy dispatch
+stats     batching counters snapshot
+drain     flush the batcher queue, reply, exit cleanly
+exit!     test injection: die immediately (simulated crash)
+========  =============================================================
+
+Every reply carries the originating ``req`` id; ``frames`` replies point
+at a packed ``(count, 5)`` float64 block — ``seq, raw, voted, cycles
+(-1 = None), energy_uj (NaN = None)`` — in the result ring.  Replies that
+ran the batcher piggyback a counters snapshot so the parent's aggregated
+``/metrics`` never has to block on a worker round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from ..parallel.shm import ShmRing
+from .batcher import MicroBatcher
+from .errors import ServeError, UnknownSessionError
+from .metrics import ServeMetrics
+from .sessions import SessionManager
+
+#: packed result row: seq, raw, voted, cycles (-1 = None), energy (NaN = None)
+RESULT_FIELDS = 5
+
+#: the readiness handshake uses a reserved request id
+READY_REQ = -1
+
+# Workers never self-evict: the parent owns TTLs and sends explicit closes,
+# so a worker-local eviction could never race the parent's view.
+_WORKER_TTL_S = 1e12
+
+
+@dataclass
+class WorkerSpec:
+    """Picklable recipe to rebuild the parent's engine inside a worker."""
+
+    bundle: Any
+    target: str
+    majority_window: int
+    num_classes: int
+    backend_opts: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_engine(cls, engine) -> "WorkerSpec":
+        backend = getattr(engine, "backend", None)
+        if backend is None or not hasattr(backend, "bundle"):
+            raise ValueError(
+                "the worker pool needs a real repro.engine.Engine (the spec "
+                "rebuilds it per worker from its ModelBundle); got "
+                f"{type(engine).__name__}"
+            )
+        bundle = backend.bundle
+        # Shed cached activation buffers before the spec is pickled to the
+        # spawn machinery (same policy as the parallel flow's task units).
+        for model in (bundle.float_model, bundle.quant_model):
+            clear = getattr(model, "clear_caches", None)
+            if clear is not None:
+                clear()
+        opts: Dict[str, Any] = {}
+        sim_mode = getattr(backend, "sim_mode", None)
+        if sim_mode is not None:
+            opts["sim_mode"] = sim_mode
+        return cls(
+            bundle=bundle,
+            target=engine.target,
+            majority_window=engine.majority_window,
+            num_classes=engine.num_classes,
+            backend_opts=opts,
+        )
+
+    def build_engine(self):
+        from ..engine.api import compile as compile_engine
+
+        return compile_engine(
+            self.bundle,
+            target=self.target,
+            majority_window=self.majority_window,
+            num_classes=self.num_classes,
+            **self.backend_opts,
+        )
+
+
+def _encode_error(exc: BaseException) -> dict:
+    if isinstance(exc, ServeError):
+        return {"code": exc.code, "status": exc.status, "detail": exc.detail}
+    return {"code": "internal", "status": 500, "detail": f"{type(exc).__name__}: {exc}"}
+
+
+def pack_results(results) -> np.ndarray:
+    """``List[FrameResult]`` -> the ``(count, 5)`` float64 wire block."""
+    packed = np.empty((len(results), RESULT_FIELDS), dtype=np.float64)
+    for i, r in enumerate(results):
+        packed[i, 0] = r.seq
+        packed[i, 1] = r.raw
+        packed[i, 2] = r.voted
+        packed[i, 3] = -1.0 if r.cycles is None else float(r.cycles)
+        packed[i, 4] = np.nan if r.energy_uj is None else float(r.energy_uj)
+    return packed
+
+
+def worker_main(
+    spec: WorkerSpec,
+    knobs: Dict[str, Any],
+    req_ring_name: str,
+    resp_ring_name: str,
+    conn,
+    index: int,
+) -> None:
+    """Entry point of one engine worker process."""
+    req_ring = ShmRing.attach(req_ring_name)
+    resp_ring = ShmRing.attach(resp_ring_name)
+    send_lock = threading.Lock()
+
+    def send(msg: dict) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):  # parent is gone; exiting anyway
+                pass
+
+    metrics = ServeMetrics()
+
+    def snapshot() -> dict:
+        batch_sum, batch_n = metrics.batch_totals()
+        return {
+            "frames_total": metrics.counter("frames_total"),
+            "batches_total": metrics.counter("batches_total"),
+            "batch_sum": batch_sum,
+            "batch_n": batch_n,
+        }
+
+    try:
+        engine = spec.build_engine()
+    except Exception as exc:
+        send({"op": "reply", "req": READY_REQ, "error": _encode_error(exc)})
+        return
+
+    sessions = SessionManager(
+        ttl_s=_WORKER_TTL_S,
+        default_window=engine.majority_window,
+        num_classes=engine.num_classes,
+    )
+    batcher = MicroBatcher(
+        engine.predict_batch,
+        max_batch=knobs["max_batch"],
+        max_wait_ms=knobs["max_wait_ms"],
+        max_queue=knobs["max_queue"],
+        max_session_queue=knobs["max_session_queue"],
+        metrics=metrics,
+    )
+    batcher.start()
+    send(
+        {
+            "op": "reply",
+            "req": READY_REQ,
+            "payload": {"pid": os.getpid(), "target": engine.target, "worker": index},
+        }
+    )
+
+    def finish(req: int, future) -> None:
+        # Runs on the batcher dispatch thread, strictly in dispatch order,
+        # so result-ring allocations release in order on the parent side.
+        exc = future.exception()
+        if exc is not None:
+            send({"op": "reply", "req": req, "error": _encode_error(exc), "stats": snapshot()})
+            return
+        results = future.result()
+        pos, end = resp_ring.write(pack_results(results))  # blocks if parent lags
+        send(
+            {
+                "op": "reply",
+                "req": req,
+                "result": {"pos": pos, "end": end, "count": len(results)},
+                "stats": snapshot(),
+            }
+        )
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent died or closed: nothing left to serve
+            op, req = msg["op"], msg["req"]
+            if op == "frames":
+                dtype = np.dtype(msg["dtype"])
+                shape = tuple(msg["shape"])
+                nbytes = dtype.itemsize * int(np.prod(shape))
+                view = req_ring.view(msg["pos"], nbytes)
+                # One private copy, then hand the ring space straight back:
+                # releasing in recv order keeps the cursor monotonic even
+                # when a submit is rejected below.
+                frames = np.frombuffer(view, dtype=dtype).reshape(shape).copy()
+                del view
+                req_ring.release(msg["end"])
+                try:
+                    session = sessions.get(msg["sid"])
+                    future = batcher.submit(session, frames)
+                except ServeError as exc:
+                    send({"op": "reply", "req": req, "error": _encode_error(exc)})
+                else:
+                    future.add_done_callback(lambda f, req=req: finish(req, f))
+            elif op == "open":
+                try:
+                    session = sessions.open(
+                        window=msg.get("window"),
+                        num_classes=msg.get("num_classes"),
+                        session_id=msg["sid"],
+                    )
+                except ValueError as exc:
+                    send(
+                        {
+                            "op": "reply",
+                            "req": req,
+                            "error": {"code": "bad_request", "status": 400, "detail": str(exc)},
+                        }
+                    )
+                else:
+                    send(
+                        {
+                            "op": "reply",
+                            "req": req,
+                            "payload": {
+                                "session_id": session.id,
+                                "window": session.window,
+                                "num_classes": session.num_classes,
+                            },
+                        }
+                    )
+            elif op == "close":
+                try:
+                    session = sessions.close(msg["sid"])
+                except UnknownSessionError as exc:
+                    send({"op": "reply", "req": req, "error": _encode_error(exc)})
+                else:
+                    send(
+                        {
+                            "op": "reply",
+                            "req": req,
+                            "payload": session.describe(),
+                            "stats": snapshot(),
+                        }
+                    )
+            elif op == "prime":
+                # One throwaway batch decodes the trace into this process's
+                # TraceCache and warms numpy dispatch before real traffic.
+                try:
+                    engine.predict_batch(np.zeros((1, *msg["shape"]), dtype=np.float64))
+                except Exception as exc:
+                    send({"op": "reply", "req": req, "error": _encode_error(exc)})
+                else:
+                    send({"op": "reply", "req": req, "payload": {"primed": True}})
+            elif op == "stats":
+                send(
+                    {
+                        "op": "reply",
+                        "req": req,
+                        "payload": {
+                            **snapshot(),
+                            "queue_depth": batcher.depth,
+                            "sessions": len(sessions),
+                        },
+                    }
+                )
+            elif op == "drain":
+                batcher.stop(drain=True)  # every queued frame replies first
+                send({"op": "reply", "req": req, "payload": {"drained": True}, "stats": snapshot()})
+                break
+            elif op == "exit!":
+                os._exit(17)
+            else:
+                send(
+                    {
+                        "op": "reply",
+                        "req": req,
+                        "error": {"code": "internal", "status": 500, "detail": f"unknown op {op!r}"},
+                    }
+                )
+    finally:
+        try:
+            batcher.stop(drain=False, timeout=5.0)
+        except Exception:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+        req_ring.close()
+        resp_ring.close()

@@ -70,5 +70,6 @@ def _emit(response: Response, start_response: Callable) -> List[bytes]:
         ("Content-Type", response.content_type),
         ("Content-Length", str(len(response.body))),
     ]
+    headers.extend((response.headers or {}).items())
     start_response(f"{response.status} {reason}", headers)
     return [response.body]

@@ -16,6 +16,7 @@ than serial.  These tests pin the fix:
 
 import os
 import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -205,3 +206,97 @@ class TestExecutorLifecycle:
         assert chunk(2, 4) == 1        # short lists: one task per message
         assert chunk(64, 4) == 4       # ~4 chunks per worker
         assert chunk(1000, 8) == 31
+
+
+# --------------------------------------------------------------------- #
+class TestShmRing:
+    """The SPSC byte ring under the serving pool's frame transport."""
+
+    def _ring(self, capacity):
+        from repro.parallel import ShmRing
+
+        ring = ShmRing.create(capacity)
+        return ring
+
+    def test_write_view_release_roundtrip(self):
+        ring = self._ring(256)
+        try:
+            payload = bytes(range(64))
+            pos, end = ring.write(payload)
+            assert bytes(ring.view(pos, len(payload))) == payload
+            assert ring.occupancy() == pytest.approx(64 / 256)
+            ring.release(end)
+            assert ring.occupancy() == 0.0
+        finally:
+            ring.close()
+
+    def test_attach_sees_producer_bytes(self):
+        from repro.parallel import ShmRing
+
+        ring = self._ring(128)
+        try:
+            pos, end = ring.write(b"hello-ring")
+            peer = ShmRing.attach(ring.name)
+            try:
+                assert bytes(peer.view(pos, 10)) == b"hello-ring"
+                peer.release(end)
+                assert ring.occupancy() == 0.0  # consumer-side release is shared
+            finally:
+                peer.close()
+        finally:
+            ring.close()
+
+    def test_wraparound_skips_tail_fragment(self):
+        ring = self._ring(100)
+        try:
+            pos1, end1 = ring.write(b"a" * 80)
+            ring.release(end1)
+            # 20 bytes remain before the physical end: an followup 40-byte
+            # payload must skip them and land at offset 0.
+            pos2, end2 = ring.write(b"b" * 40)
+            assert pos2 == 0
+            assert end2 == 80 + 20 + 40  # absolute cursor accounts the skip
+            assert bytes(ring.view(pos2, 40)) == b"b" * 40
+            ring.release(end2)
+            assert ring.head == ring.tail
+        finally:
+            ring.close()
+
+    def test_nonblocking_write_raises_ring_full(self):
+        from repro.parallel import RingFull
+
+        ring = self._ring(64)
+        try:
+            ring.write(b"x" * 48)
+            with pytest.raises(RingFull):
+                ring.write(b"y" * 32, timeout=0.0)
+        finally:
+            ring.close()
+
+    def test_blocked_write_proceeds_after_release(self):
+        ring = self._ring(64)
+        try:
+            _, end = ring.write(b"x" * 48)
+            release_timer = threading.Timer(0.05, lambda: ring.release(end))
+            release_timer.start()
+            pos, end2 = ring.write(b"y" * 32, timeout=5.0)  # blocks, then lands
+            release_timer.join()
+            assert bytes(ring.view(pos, 32)) == b"y" * 32
+            ring.release(end2)
+        finally:
+            ring.close()
+
+    def test_oversized_payload_rejected(self):
+        ring = self._ring(32)
+        try:
+            with pytest.raises(ValueError, match="exceeds ring capacity"):
+                ring.write(b"z" * 33)
+        finally:
+            ring.close()
+
+    def test_close_unlinks_owner_block(self):
+        ring = self._ring(32)
+        name = ring.name
+        assert _block_is_linked(name)
+        ring.close()
+        assert not _block_is_linked(name)

@@ -827,3 +827,105 @@ class TestWsgiAdapter:
             assert status == 404 and err["error"] == "unknown_session"
         finally:
             service.stop()
+
+
+# --------------------------------------------------------------------- #
+class TestTtlEvictionRacingInflightFrames:
+    """A session TTL-evicted between enqueue and dispatch must fail its
+    queued frames cleanly (409) without crashing or stalling the batcher,
+    and the next push for it must get a clean 404."""
+
+    def test_eviction_mid_queue_fails_409_and_batcher_keeps_serving(self):
+        now = [0.0]
+        runner = BlockingRunner()
+        mgr = SessionManager(ttl_s=10.0, clock=lambda: now[0])
+        # max_wait_ms=0 with the frozen clock: the collect window expires
+        # immediately instead of waiting for fake time that never advances.
+        batcher = MicroBatcher(
+            runner, max_batch=4, max_wait_ms=0.0, clock=lambda: now[0]
+        )
+        victim, survivor = mgr.open(), mgr.open()
+        batcher.start()
+        try:
+            # Park the dispatch thread inside the runner on a throwaway frame.
+            first = batcher.submit(survivor, encode_frames([0]))
+            assert runner.entered.wait(timeout=10)
+            # Enqueue the victim's frames, then TTL-evict it before dispatch.
+            queued = batcher.submit(victim, encode_frames([0, 0]))
+            now[0] = 95.0
+            survivor.touch(now[0])  # stays fresh; only the victim idles out
+            now[0] = 100.0
+            evicted = mgr.evict_idle()
+            assert victim in evicted
+            runner.release.set()
+            first.result(timeout=10)
+            with pytest.raises(SessionClosedError):
+                queued.result(timeout=10)
+            # The batcher is alive and serving: the survivor still works...
+            ok = batcher.submit(survivor, encode_frames([1, 1]))
+            assert len(ok.result(timeout=10)) == 2
+            # ...and the evicted frames never reached the engine.
+            assert sum(runner.batches) == 3
+            # A new push for the evicted session is a clean 404.
+            with pytest.raises(UnknownSessionError):
+                mgr.get(victim.id)
+        finally:
+            batcher.stop(drain=True)
+
+    def test_lazy_get_eviction_notifies_on_evict(self):
+        now = [0.0]
+        retired = []
+        mgr = SessionManager(
+            ttl_s=5.0, clock=lambda: now[0], on_evict=lambda s: retired.append(s.id)
+        )
+        s = mgr.open()
+        now[0] = 100.0
+        with pytest.raises(UnknownSessionError):
+            mgr.get(s.id)
+        assert retired == [s.id]
+
+
+class TestDegenerateBatcherConfig:
+    """``max_wait_ms=0`` + ``max_batch=1``: every frame dispatches alone,
+    with one wakeup per frame and no spinning on the deadline clock."""
+
+    def test_one_batch_per_frame(self):
+        engine = FakeEngine()
+        batcher = MicroBatcher(engine.predict_batch, max_batch=1, max_wait_ms=0.0)
+        mgr = SessionManager(ttl_s=100)
+        s = mgr.open()
+        batcher.start()
+        try:
+            futures = [batcher.submit(s, encode_frames([i % 4])) for i in range(6)]
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            batcher.stop(drain=True)
+        assert engine.batch_sizes == [1] * 6
+        assert [r[0].seq for r in results] == list(range(6))
+
+    def test_no_dispatch_thread_spin(self):
+        """The dispatcher must take O(1) clock reads per frame — a spinning
+        collect loop would take unboundedly many."""
+        clock_calls = [0]
+
+        def counting_clock():
+            clock_calls[0] += 1
+            return time.monotonic()
+
+        engine = FakeEngine()
+        batcher = MicroBatcher(
+            engine.predict_batch, max_batch=1, max_wait_ms=0.0, clock=counting_clock
+        )
+        mgr = SessionManager(ttl_s=100)
+        s = mgr.open()
+        batcher.start()
+        try:
+            n = 20
+            for i in range(n):
+                batcher.submit(s, encode_frames([0])).result(timeout=10)
+        finally:
+            batcher.stop(drain=True)
+        # submit touches the clock once, _collect reads it once to set the
+        # (immediately expired) deadline: a small constant per frame.
+        assert clock_calls[0] <= 4 * n + 4, f"{clock_calls[0]} clock reads for {n} frames"
+        assert engine.batch_sizes == [1] * n

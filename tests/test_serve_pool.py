@@ -1,0 +1,371 @@
+"""The multi-process serving pool: sharding, shared-memory transport,
+parity with offline streams, crash semantics, drain, and metrics."""
+
+import threading
+import time
+from http.client import HTTPConnection
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import ModelBundle
+from repro.serve import (
+    PoolServeService,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServeService,
+    UnknownSessionError,
+    WorkerCrashedError,
+    make_service,
+    shard_of,
+    start_server,
+)
+
+
+@pytest.fixture(scope="module")
+def pool_engine(quantized_model):
+    """One int-golden engine whose bundle the workers rebuild from."""
+    return repro.compile(ModelBundle(quantized_model), target="int-golden")
+
+
+@pytest.fixture(scope="module")
+def pool_frames(prepared_data):
+    return np.ascontiguousarray(prepared_data["test"].inputs, dtype=np.float64)
+
+
+def _offline_stream(engine, frames, window):
+    with engine.stream(window=window) as session:
+        updates = [session.push(f) for f in frames]
+    return {
+        "raw": [u.raw for u in updates],
+        "voted": [u.voted for u in updates],
+    }
+
+
+# --------------------------------------------------------------------- #
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for workers in (1, 2, 3, 7):
+            for sid in ("a", "deadbeef", "f" * 16, ""):
+                s = shard_of(sid, workers)
+                assert s == shard_of(sid, workers)
+                assert 0 <= s < workers
+
+    def test_spreads_sessions_across_workers(self):
+        shards = {shard_of(f"session-{i:04x}", 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_single_worker_is_always_zero(self):
+        assert all(shard_of(f"s{i}", 1) == 0 for i in range(16))
+
+
+class TestMakeService:
+    def test_workers_zero_is_plain_in_process_service(self):
+        class E:
+            def predict_batch(self, frames):  # pragma: no cover - never called
+                raise AssertionError
+
+        service = make_service(E(), ServeConfig())
+        assert type(service) is ServeService
+        assert "workers" not in service.config.as_json()
+
+    def test_pool_requires_a_real_engine(self):
+        class E:
+            def predict_batch(self, frames):  # pragma: no cover - never called
+                raise AssertionError
+
+        with pytest.raises(ValueError, match="ModelBundle"):
+            make_service(E(), ServeConfig(workers=2))
+
+    def test_workers_selects_pool_service(self, pool_engine):
+        service = make_service(pool_engine, ServeConfig(workers=2))
+        assert isinstance(service, PoolServeService)
+        assert service.pool.workers == 2
+        assert service.config.as_json()["workers"] == 2
+
+
+# --------------------------------------------------------------------- #
+class TestPoolParityWithOfflineStream:
+    """ISSUE acceptance: pool-served outputs are bit-identical to offline
+    ``Engine.stream`` replays for EVERY worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_parity_across_worker_counts(self, workers, pool_engine, pool_frames):
+        window, n = 3, 10
+        streams = {
+            "a": pool_frames[:n],
+            "b": pool_frames[n : 2 * n],
+            "c": pool_frames[2 * n : 3 * n],
+        }
+        offline = {
+            key: _offline_stream(pool_engine, frames, window)
+            for key, frames in streams.items()
+        }
+
+        service = PoolServeService(
+            pool_engine, ServeConfig(workers=workers, max_batch=8, max_wait_ms=1.0)
+        )
+        service.start()
+        try:
+            sids = {key: service.open_session(window=window)["session_id"] for key in streams}
+            # Interleave chunked pushes round-robin across the sessions.
+            pending = []
+            cursors = {key: 0 for key in streams}
+            chunk = 2
+            while any(cursors[k] < len(streams[k]) for k in streams):
+                for key, frames in streams.items():
+                    i = cursors[key]
+                    if i >= len(frames):
+                        continue
+                    part = frames[i : i + chunk]
+                    cursors[key] = i + len(part)
+                    pending.append((key, service.submit_frames(sids[key], part)))
+            served = {key: [] for key in streams}
+            for key, p in pending:
+                for r in p.future.result(timeout=60):
+                    served[key].append((r.seq, r.raw, r.voted))
+        finally:
+            service.stop()
+        for key in streams:
+            ordered = sorted(served[key])
+            assert [s for s, _, _ in ordered] == list(range(len(streams[key])))
+            assert [r for _, r, _ in ordered] == offline[key]["raw"], f"{key} raw"
+            assert [v for _, _, v in ordered] == offline[key]["voted"], f"{key} voted"
+
+    def test_sessions_pin_to_their_shard_worker(self, pool_engine):
+        service = PoolServeService(pool_engine, ServeConfig(workers=2, max_wait_ms=0.5))
+        service.start()
+        try:
+            for _ in range(6):
+                opened = service.open_session(window=3)
+                sid = opened["session_id"]
+                assert opened["worker"] == service.pool.shard_of(sid)
+                assert sid in service.pool.handles[opened["worker"]].sessions
+        finally:
+            service.stop()
+
+
+# --------------------------------------------------------------------- #
+class TestPoolOverHttp:
+    """The full HTTP front-end with workers=2 behind it."""
+
+    @pytest.fixture(scope="class")
+    def running(self, pool_engine):
+        with start_server(pool_engine, workers=2, max_batch=8, max_wait_ms=1.0) as server:
+            yield server
+
+    def test_healthz_reports_pool(self, running):
+        with ServeClient(running.host, running.port) as client:
+            health = client.healthz()
+        assert health["workers"] == 2
+        assert 0 <= health["workers_up"] <= 2
+
+    def test_lifecycle_voted_outputs_and_frames_seen(self, running, pool_engine, pool_frames):
+        frames = pool_frames[:8]
+        offline = _offline_stream(pool_engine, frames, window=5)
+        with ServeClient(running.host, running.port) as client:
+            opened = client.open_session(window=5)
+            sid = opened["session_id"]
+            assert opened["worker"] == shard_of(sid, 2)
+            voted, raw = [], []
+            for i in range(0, len(frames), 2):
+                out = client.push(sid, frames[i : i + 2])
+                raw.extend(r["raw"] for r in out["results"])
+                voted.extend(r["voted"] for r in out["results"])
+            closed = client.close_session(sid)
+        assert raw == offline["raw"]
+        assert voted == offline["voted"]
+        assert closed["frames_seen"] == len(frames)
+
+    def test_metrics_carry_per_worker_labels_and_pool_gauges(self, running, pool_frames):
+        with ServeClient(running.host, running.port) as client:
+            sid = client.open_session(window=3)["session_id"]
+            client.push(sid, pool_frames[:2])
+            text = client.metrics()
+            client.close_session(sid)
+        for series in (
+            "repro_serve_pool_workers 2",
+            'repro_serve_pool_worker_up{worker="0"}',
+            'repro_serve_pool_worker_up{worker="1"}',
+            'repro_serve_pool_shard_sessions{worker="0"}',
+            'repro_serve_pool_inflight_frames{worker="1"}',
+            "repro_serve_pool_worker_restarts_total 0",
+            'repro_serve_pool_worker_frames_total{worker="',
+        ):
+            assert series in text, f"missing {series!r} in:\n{text}"
+        assert 'ring="requests"' in text and 'ring="results"' in text
+
+    def test_frames_total_counts_served_frames(self, running, pool_frames):
+        with ServeClient(running.host, running.port) as client:
+            before = running.service.metrics.counter("frames_total")
+            sid = client.open_session(window=3)["session_id"]
+            client.push(sid, pool_frames[:4])
+            client.close_session(sid)
+            after = running.service.metrics.counter("frames_total")
+        assert after - before == 4
+
+
+# --------------------------------------------------------------------- #
+class TestWorkerCrash:
+    def _service(self, pool_engine, **knobs):
+        service = PoolServeService(pool_engine, ServeConfig(workers=1, **knobs))
+        service.start()
+        return service
+
+    def test_inflight_requests_fail_with_503_retry_after(self, pool_engine, pool_frames):
+        # A huge batching window parks the frames inside the worker's
+        # batcher, so the kill deterministically lands mid-request.
+        service = self._service(
+            pool_engine, max_batch=64, max_wait_ms=5000.0, worker_start_timeout_s=120.0
+        )
+        try:
+            sid = service.open_session(window=3)["session_id"]
+            pending = service.submit_frames(sid, pool_frames[:2])
+            time.sleep(0.3)  # let the worker pull the doorbell
+            service.pool.handles[0].kill()
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                pending.future.result(timeout=30)
+            assert excinfo.value.status == 503
+            assert excinfo.value.headers == {"Retry-After": "1"}
+            # The shard's sessions are purged: voter state died with the worker.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and sid in service.sessions.ids():
+                time.sleep(0.01)
+            with pytest.raises(UnknownSessionError):
+                service.submit_frames(sid, pool_frames[:1])
+            assert service.metrics.counter("pool_worker_crashes_total") == 1
+            assert 'repro_serve_pool_worker_up{worker="0"} 0' in service.metrics.render()
+        finally:
+            service.stop()
+
+    def test_crashed_shard_respawns_for_the_next_session(self, pool_engine, pool_frames):
+        service = self._service(pool_engine, max_batch=8, max_wait_ms=1.0)
+        try:
+            sid = service.open_session(window=3)["session_id"]
+            service.submit_frames(sid, pool_frames[:2]).future.result(timeout=60)
+            service.pool.handles[0].kill()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.pool.handles[0].state != "dead":
+                time.sleep(0.01)
+            assert service.pool.handles[0].state == "dead"
+            # The next open hashing onto the shard respawns the worker.
+            sid2 = service.open_session(window=3)["session_id"]
+            out = service.submit_frames(sid2, pool_frames[:2]).future.result(timeout=60)
+            assert len(out) == 2
+            assert service.pool.restarts_total() == 1
+            assert "repro_serve_pool_worker_restarts_total 1" in service.metrics.render()
+        finally:
+            service.stop()
+
+    def test_http_client_sees_503_with_retry_after_header(self, pool_engine, pool_frames):
+        with start_server(
+            pool_engine, workers=1, max_batch=64, max_wait_ms=5000.0
+        ) as server:
+            client = ServeClient(server.host, server.port)
+            sid = client.open_session(window=3)["session_id"]
+            client.close()
+
+            result = {}
+
+            def blocked_push():
+                conn = HTTPConnection(server.host, server.port, timeout=60)
+                import json
+
+                body = json.dumps({"frames": pool_frames[:2].tolist()}).encode()
+                conn.request(
+                    "POST",
+                    f"/v1/sessions/{sid}/frames",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                result["status"] = response.status
+                result["retry_after"] = response.getheader("Retry-After")
+                result["body"] = response.read()
+                conn.close()
+
+            t = threading.Thread(target=blocked_push)
+            t.start()
+            time.sleep(0.5)  # request parked in the worker's batching window
+            server.service.pool.handles[0].kill()
+            t.join(timeout=30)
+            assert not t.is_alive(), "crashed worker stalled the request"
+            assert result["status"] == 503
+            assert result["retry_after"] == "1"
+            assert b"worker_crashed" in result["body"]
+
+
+# --------------------------------------------------------------------- #
+class TestDrainAndShutdown:
+    def test_graceful_drain_flushes_every_worker_queue(self, pool_engine, pool_frames):
+        # Frames park in each worker's batching window; stop(drain=True)
+        # must flush them all before the workers exit.
+        service = PoolServeService(
+            pool_engine, ServeConfig(workers=2, max_batch=64, max_wait_ms=5000.0)
+        )
+        service.start()
+        pending = []
+        sids = [service.open_session(window=3)["session_id"] for _ in range(4)]
+        for sid in sids:
+            pending.append(service.submit_frames(sid, pool_frames[:2]))
+        time.sleep(0.3)
+        service.stop(drain=True)
+        for p in pending:
+            results = p.future.result(timeout=5)  # already resolved by drain
+            assert len(results) == 2
+        assert all(h.state == "stopped" for h in service.pool.handles)
+
+    def test_no_leaked_shared_memory_after_stop(self, pool_engine, pool_frames):
+        service = PoolServeService(pool_engine, ServeConfig(workers=2, max_wait_ms=0.5))
+        service.start()
+        sids = [service.open_session(window=3)["session_id"] for _ in range(4)]
+        for sid in sids:
+            service.submit_frames(sid, pool_frames[:1]).future.result(timeout=60)
+        names = service.pool.ring_names()
+        assert names, "expected live rings before stop"
+        service.stop(drain=True)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_submits_after_stop_are_rejected(self, pool_engine, pool_frames):
+        service = PoolServeService(pool_engine, ServeConfig(workers=1, max_wait_ms=0.5))
+        service.start()
+        sid = service.open_session(window=3)["session_id"]
+        service.stop(drain=True)
+        with pytest.raises(ServeError):
+            service.submit_frames(sid, pool_frames[:1])
+
+
+# --------------------------------------------------------------------- #
+class TestPoolTtlEviction:
+    def test_idle_session_is_retired_on_its_worker(self, pool_engine, pool_frames):
+        now = [0.0]
+        service = PoolServeService(
+            pool_engine,
+            ServeConfig(workers=1, session_ttl_s=10.0, max_wait_ms=0.5),
+            clock=lambda: now[0],
+        )
+        service.start()
+        try:
+            sid = service.open_session(window=3)["session_id"]
+            service.submit_frames(sid, pool_frames[:1]).future.result(timeout=60)
+            handle = service.pool.handles[0]
+            assert handle.rpc("stats")["sessions"] == 1
+            now[0] = 100.0
+            assert service.evict_idle() == 1
+            with pytest.raises(UnknownSessionError):
+                service.submit_frames(sid, pool_frames[:1])
+            # The fire-and-forget retirement reaches the worker too.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if handle.rpc("stats")["sessions"] == 0:
+                    break
+                time.sleep(0.01)
+            assert handle.rpc("stats")["sessions"] == 0
+            assert sid not in handle.sessions
+        finally:
+            service.stop()
