@@ -278,6 +278,21 @@ class ShmRing:
     Allocations are contiguous: a payload that does not fit before the end
     of the buffer skips the tail fragment (the skip is accounted in the
     absolute cursors, so ``release(end)`` frees it implicitly).
+
+    .. warning:: **Memory-ordering assumption (x86-64 / TSO only).**  The
+       cursors are plain ``struct.pack_into`` / ``unpack_from`` accesses
+       with no atomics or fences.  That is sound on x86-64, where stores
+       are not reordered with earlier loads (TSO) and the interpreter's
+       ``memcpy`` of an aligned 8-byte slot is not observed torn in
+       practice; the *payload* hand-off in the serving pool is additionally
+       ordered by the pipe doorbell, whose send/recv syscalls imply full
+       barriers.  On weakly-ordered architectures (ARM), however, the
+       consumer's ``release`` store could become visible before its payload
+       reads have completed, letting the producer overwrite bytes still
+       being read.  Deployments on non-x86 hosts should route the tail
+       hand-off through the pipe (ship ``end`` back as a control message
+       and have the producer apply it) instead of trusting raw cursor
+       loads for space reclamation.
     """
 
     def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
@@ -363,7 +378,11 @@ class ShmRing:
         return self._shm.buf[offset : offset + nbytes]
 
     def release(self, end: int) -> None:
-        """Hand ``[tail, end)`` back to the producer (must be in order)."""
+        """Hand ``[tail, end)`` back to the producer (must be in order).
+
+        Callers must drop every :meth:`view` into the released span *before*
+        calling this; see the class docstring for the x86-TSO ordering
+        assumption behind the raw cursor store."""
         struct.pack_into("<Q", self._shm.buf, 8, end)
 
     # ------------------------------------------------------------------ #

@@ -54,6 +54,7 @@ from .metrics import ServeMetrics, quantile
 from .pool import EngineWorkerPool, PoolServeService, WorkerHandle, shard_of
 from .server import RunningServer, ServeServer, make_service, start_server
 from .service import (
+    DeferredResponse,
     PendingResponse,
     Response,
     ServeConfig,
@@ -67,6 +68,7 @@ from .wsgi import make_wsgi_app
 
 __all__ = [
     "BadRequestError",
+    "DeferredResponse",
     "EngineWorkerPool",
     "FrameResult",
     "MicroBatcher",

@@ -38,7 +38,7 @@ import math
 import multiprocessing as mp
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -54,8 +54,35 @@ from .errors import (
     UnknownSessionError,
     WorkerCrashedError,
 )
-from .service import PendingResponse, ServeConfig, ServeService
+from .service import (
+    DeferredResponse,
+    PendingResponse,
+    Response,
+    ServeConfig,
+    ServeService,
+)
 from .worker import READY_REQ, RESULT_FIELDS, WorkerSpec, worker_main
+
+
+def _settle_future(
+    future: Future, result=None, exc: Optional[BaseException] = None
+) -> None:
+    """Resolve a request future, tolerating one the front-end abandoned.
+
+    ``asyncio.wait_for`` cancels the wrapped future on request timeout or
+    client disconnect, so a late worker reply (or crash/abort sweep) must
+    be a no-op — not an ``InvalidStateError`` that would kill the pump
+    thread and wedge the shard.
+    """
+    try:
+        if future.done():
+            return
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass  # cancelled between the done() check and the set
 
 
 def shard_of(session_id: str, workers: int) -> int:
@@ -198,20 +225,40 @@ class WorkerHandle:
                 msg = conn.recv()
             except (EOFError, OSError):
                 break
-            stats = msg.get("stats")
-            if stats:
-                self.last_stats = stats
-            with self._lock:
-                entry = self._pending.pop(msg.get("req"), None)
-            if entry is None:
+            try:
+                self._pump_one(msg, resp_ring)
+            except Exception:
+                # One bad reply must never kill the pump: the shard would
+                # wedge with inflight never decremented and every other
+                # future unresolved.  _pump_one already settled its future.
                 continue
-            n, future = entry
+        if self._draining:
+            with self._lock:
+                self.state = "stopped"
+        else:
+            self._mark_dead()
+
+    def _pump_one(self, msg: dict, resp_ring: ShmRing) -> None:
+        """Decode one worker reply and settle its future.  Always decrements
+        ``inflight`` and releases the result-ring allocation, even when the
+        front-end already abandoned the future (request timeout / client
+        disconnect) — otherwise the worker would eventually block forever on
+        a full result ring."""
+        stats = msg.get("stats")
+        if stats:
+            self.last_stats = stats
+        with self._lock:
+            entry = self._pending.pop(msg.get("req"), None)
+        if entry is None:
+            return
+        n, future = entry
+        result = None
+        exc: Optional[BaseException] = None
+        try:
             if "error" in msg:
                 err = msg["error"]
                 exc_cls = ERRORS_BY_CODE.get(err.get("code"), ServeError)
-                with self._lock:
-                    self.inflight -= n
-                future.set_exception(exc_cls(err.get("detail", "")))
+                exc = exc_cls(err.get("detail", ""))
             elif "result" in msg:
                 ref = msg["result"]
                 count = int(ref["count"])
@@ -223,7 +270,7 @@ class WorkerHandle:
                 )
                 del view
                 resp_ring.release(ref["end"])
-                results = [
+                result = [
                     FrameResult(
                         seq=int(row[0]),
                         raw=int(row[1]),
@@ -233,18 +280,14 @@ class WorkerHandle:
                     )
                     for row in packed
                 ]
-                with self._lock:
-                    self.inflight -= n
-                future.set_result(results)
             else:
-                with self._lock:
-                    self.inflight -= n
-                future.set_result(msg.get("payload"))
-        if self._draining:
+                result = msg.get("payload")
+        except Exception as decode_exc:  # malformed reply: fail this caller only
+            exc = ServeError(f"undecodable worker reply: {decode_exc}")
+        finally:
             with self._lock:
-                self.state = "stopped"
-        else:
-            self._mark_dead()
+                self.inflight -= n
+        _settle_future(future, result=result, exc=exc)
 
     def _mark_dead(self) -> None:
         with self._lock:
@@ -257,8 +300,7 @@ class WorkerHandle:
             f"engine worker {self.index} died unexpectedly; session state lost"
         )
         for _, future in pending.values():
-            if not future.done():
-                future.set_exception(exc)
+            _settle_future(future, exc=exc)
         self._teardown(unlink=True)
         if self._on_crash is not None:
             self._on_crash(self)
@@ -375,8 +417,10 @@ class WorkerHandle:
         """Flush the worker's batcher queue, then shut the process down.
 
         The ``drain`` op is pipelined behind any frames already written, so
-        every in-flight request resolves before the "drained" ack."""
-        with self._lock:
+        every in-flight request resolves before the "drained" ack.  Holding
+        ``_spawn_lock`` lets a concurrent lazy spawn finish (or fail) first,
+        so a worker started moments before the stop cannot leak."""
+        with self._spawn_lock, self._lock:
             if self.state != "up":
                 self.state = "stopped"
                 return
@@ -395,7 +439,7 @@ class WorkerHandle:
 
     def abort(self) -> None:
         """Immediate shutdown: terminate the process, drop in-flight work."""
-        with self._lock:
+        with self._spawn_lock, self._lock:
             if self.state not in ("up", "dead"):
                 self.state = "stopped"
                 return
@@ -405,8 +449,7 @@ class WorkerHandle:
             self.state = "stopped"
         exc = ShuttingDownError("server stopped")
         for _, future in pending.values():
-            if not future.done():
-                future.set_exception(exc)
+            _settle_future(future, exc=exc)
         proc = self._proc
         if proc is not None and proc.is_alive():
             proc.terminate()
@@ -500,7 +543,16 @@ class EngineWorkerPool:
             raise ShuttingDownError("worker pool is draining")
         h = self.handle(session_id)
         h.ensure_started(prime_shape=self._frame_shape)
-        h.rpc("open", sid=session_id, window=window, num_classes=num_classes)
+        try:
+            h.rpc("open", sid=session_id, window=window, num_classes=num_classes)
+        except WorkerCrashedError:
+            raise  # the worker (and any mirror it held) is gone
+        except ServeError:
+            # Timed out (or otherwise failed) after the request was sent:
+            # the worker may still have executed the open, and workers never
+            # self-evict — fire-and-forget a close so no mirror is orphaned.
+            h.rpc_nowait("close", sid=session_id)
+            raise
         h.sessions.add(session_id)
         return h.index
 
@@ -594,6 +646,14 @@ class PoolServeService(ServeService):
         self.metrics.register_gauge("pool_workers", lambda: self.pool.workers)
         self.metrics.register_gauge("pool_workers_up", lambda: self.pool.workers_up())
         self.metrics.register_renderer(self._render_pool)
+        # Session opens may spawn + prime a cold worker (seconds to minutes):
+        # handle() defers them onto this executor so the asyncio front-end's
+        # loop — /healthz, /metrics, every other shard's traffic — never
+        # stalls behind a spawn (reject-not-block).
+        self._open_executor = ThreadPoolExecutor(
+            max_workers=max(2, self.config.workers),
+            thread_name_prefix="repro-serve-open",
+        )
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -603,6 +663,9 @@ class PoolServeService(ServeService):
 
     def stop(self, drain: bool = True) -> None:
         self._stopping = True
+        # wait=False: an open mid-spawn finishes on its own thread (and then
+        # fails against the stopping pool) instead of stalling the shutdown.
+        self._open_executor.shutdown(wait=False)
         self.pool.stop(drain=drain)
         self.sessions.close_all()
         self._started = False
@@ -612,6 +675,19 @@ class PoolServeService(ServeService):
         self.pool.prime(frame_shape)
 
     # ------------------------------------------------------------------ #
+    def handle(self, method: str, path: str, body: bytes):
+        if method == "POST" and path.split("?", 1)[0] == "/v1/sessions":
+            try:
+                return DeferredResponse(
+                    self._open_executor.submit(super().handle, method, path, body)
+                )
+            except RuntimeError:  # executor shut down: the service is stopping
+                return self._observed(
+                    "sessions",
+                    Response.error(ShuttingDownError("server is draining")),
+                )
+        return super().handle(method, path, body)
+
     def open_session(
         self, window: Optional[int] = None, num_classes: Optional[int] = None
     ) -> dict:
@@ -648,14 +724,22 @@ class PoolServeService(ServeService):
         if self._stopping:
             raise ShuttingDownError("server is draining")
         n = int(frames.shape[0])
-        if session.pending + n > self.config.max_session_queue:
-            raise OverloadedError(
-                f"session {session_id} queue full "
-                f"({session.pending}/{self.config.max_session_queue})"
-            )
-        future = self.pool.submit(session_id, frames)
+        # Check-and-increment atomically: two concurrent pushes to the same
+        # session must not both pass the limit and over-admit.
         with session.lock:
+            if session.pending + n > self.config.max_session_queue:
+                raise OverloadedError(
+                    f"session {session_id} queue full "
+                    f"({session.pending}/{self.config.max_session_queue})"
+                )
             session.pending += n
+        try:
+            future = self.pool.submit(session_id, frames)
+        except BaseException:
+            with session.lock:
+                session.pending -= n
+            raise
+        with session.lock:
             session.next_seq += n
             session.touch(self._clock())
         future.add_done_callback(lambda f, s=session, n=n: self._settle(s, n, f))
@@ -666,7 +750,7 @@ class PoolServeService(ServeService):
     def _settle(self, session, n: int, future: Future) -> None:
         with session.lock:
             session.pending -= n
-        if future.exception() is None:
+        if not future.cancelled() and future.exception() is None:
             with session.lock:
                 session.frames_done += n
             self.metrics.inc("frames_total", n)

@@ -28,7 +28,13 @@ import threading
 from typing import Optional
 
 from .errors import BadRequestError
-from .service import PendingResponse, Response, ServeConfig, ServeService
+from .service import (
+    DeferredResponse,
+    PendingResponse,
+    Response,
+    ServeConfig,
+    ServeService,
+)
 
 _MAX_REQUEST_LINE = 8192
 _MAX_HEADERS = 64
@@ -154,7 +160,11 @@ class ServeServer:
                         keep_alive = False
                     else:
                         response = self.service.handle(method, path, body)
-                        if isinstance(response, PendingResponse):
+                        if isinstance(response, DeferredResponse):
+                            # Routed off-loop (pool session opens spawn
+                            # workers); resolves to a plain Response.
+                            response = await asyncio.wrap_future(response.future)
+                        elif isinstance(response, PendingResponse):
                             response = await self._await_pending(response)
                         keep_alive = headers.get("connection", "keep-alive") != "close"
                     try:

@@ -135,6 +135,19 @@ class PendingResponse:
         return Response.json(500, {"error": "internal", "detail": str(exc)})
 
 
+@dataclass
+class DeferredResponse:
+    """A fully-routed response being computed off the caller's thread.
+
+    Returned by :meth:`ServeService.handle` for routes that may block for
+    seconds (the worker pool's lazy spawn + priming on session open); the
+    asyncio front-end awaits :attr:`future`, WSGI blocks on it, and either
+    way it resolves to a plain, already-observed :class:`Response`.
+    """
+
+    future: Future
+
+
 class ServeService:
     """Sessions + micro-batcher + metrics over one compiled engine."""
 

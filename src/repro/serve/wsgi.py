@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Tuple
 
-from .service import PendingResponse, Response, ServeService
+from .service import DeferredResponse, PendingResponse, Response, ServeService
 
 _REASONS = {
     200: "OK",
@@ -57,7 +57,9 @@ def make_wsgi_app(service: ServeService) -> Callable:
 
         service.evict_idle()  # no event loop: sweep lazily per request
         response = service.handle(method, path, body)
-        if isinstance(response, PendingResponse):
+        if isinstance(response, DeferredResponse):
+            response = response.future.result()  # off-thread session open
+        elif isinstance(response, PendingResponse):
             response = service.resolve(response)
         return _emit(response, start_response)
 

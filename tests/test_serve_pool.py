@@ -299,6 +299,64 @@ class TestWorkerCrash:
 
 
 # --------------------------------------------------------------------- #
+class TestAbandonedRequests:
+    """The asyncio front-end cancels the wrapped future on request timeout
+    or client disconnect; the late worker reply must be swallowed, not kill
+    the pump thread (which would wedge the whole shard)."""
+
+    def test_late_reply_after_cancelled_future_keeps_shard_alive(
+        self, pool_engine, pool_frames
+    ):
+        # A 400ms batching window parks the frames in the worker, giving the
+        # cancellation a deterministic head start over the reply.
+        service = PoolServeService(
+            pool_engine, ServeConfig(workers=1, max_batch=8, max_wait_ms=400.0)
+        )
+        service.start()
+        try:
+            handle = service.pool.handles[0]
+            sid = service.open_session(window=3)["session_id"]
+            pending = service.submit_frames(sid, pool_frames[:2])
+            assert pending.future.cancel(), "reply won the race; retune the window"
+            # The late reply must decrement inflight and release the ring...
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and handle.inflight:
+                time.sleep(0.01)
+            assert handle.inflight == 0
+            session = service.sessions.get(sid)
+            with session.lock:
+                assert session.pending == 0
+            # ...and the pump must survive to serve the next request.
+            out = service.submit_frames(sid, pool_frames[2:4]).future.result(
+                timeout=30
+            )
+            assert len(out) == 2
+            assert handle._pump_thread is not None and handle._pump_thread.is_alive()
+        finally:
+            service.stop()
+
+    def test_many_cancelled_requests_do_not_wedge_the_worker(
+        self, pool_engine, pool_frames
+    ):
+        service = PoolServeService(
+            pool_engine, ServeConfig(workers=1, max_batch=4, max_wait_ms=100.0)
+        )
+        service.start()
+        try:
+            sid = service.open_session(window=3)["session_id"]
+            for _ in range(8):
+                service.submit_frames(sid, pool_frames[:1]).future.cancel()
+            out = service.submit_frames(sid, pool_frames[:1]).future.result(timeout=30)
+            assert len(out) == 1
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.pool.handles[0].inflight:
+                time.sleep(0.01)
+            assert service.pool.handles[0].inflight == 0
+        finally:
+            service.stop()
+
+
+# --------------------------------------------------------------------- #
 class TestDrainAndShutdown:
     def test_graceful_drain_flushes_every_worker_queue(self, pool_engine, pool_frames):
         # Frames park in each worker's batching window; stop(drain=True)
