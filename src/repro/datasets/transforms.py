@@ -29,7 +29,13 @@ class Standardizer:
         return cls(mean=float(frames.mean()), std=std)
 
     def __call__(self, frames: np.ndarray) -> np.ndarray:
-        return (np.asarray(frames, dtype=np.float64) - self.mean) / self.std
+        frames = np.asarray(frames, dtype=np.float64)
+        # Degenerate scale (a constant stream — e.g. a stuck sensor, or a
+        # Standardizer constructed directly with std=0): return zeros
+        # instead of NaN/Inf so downstream inference stays well-defined.
+        if not np.isfinite(self.std) or abs(self.std) < 1e-12:
+            return np.zeros_like(frames)
+        return (frames - self.mean) / self.std
 
     def inverse(self, frames: np.ndarray) -> np.ndarray:
         return np.asarray(frames, dtype=np.float64) * self.std + self.mean
@@ -52,7 +58,12 @@ class MinMaxNormalizer:
 
     def __call__(self, frames: np.ndarray) -> np.ndarray:
         frames = np.asarray(frames, dtype=np.float64)
-        return np.clip((frames - self.minimum) / (self.maximum - self.minimum), 0.0, 1.0)
+        span = self.maximum - self.minimum
+        # Same stuck-sensor guard as Standardizer: a zero-width range would
+        # divide by zero and flood the pipeline with NaNs.
+        if not np.isfinite(span) or abs(span) < 1e-12:
+            return np.zeros_like(frames)
+        return np.clip((frames - self.minimum) / span, 0.0, 1.0)
 
 
 def ambient_removal(frames: np.ndarray) -> np.ndarray:

@@ -28,6 +28,7 @@ from .backends import (
     compile_and_report,
 )
 from .engine import Engine, StreamSession
+from .guard import InputGuard, InvalidFrameError, make_guard
 from .registry import (
     EngineError,
     TargetSpec,
@@ -37,7 +38,13 @@ from .registry import (
     target_table,
     unregister_target,
 )
-from .results import BatchPrediction, Prediction, StreamSummary, StreamUpdate
+from .results import (
+    BatchPrediction,
+    Prediction,
+    StreamHealth,
+    StreamSummary,
+    StreamUpdate,
+)
 
 __all__ = [
     "compile",
@@ -52,6 +59,10 @@ __all__ = [
     "MaupitiBackend",
     "Stm32Backend",
     "EngineError",
+    "InputGuard",
+    "InvalidFrameError",
+    "StreamHealth",
+    "make_guard",
     "TargetSpec",
     "register_target",
     "unregister_target",

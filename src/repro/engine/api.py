@@ -98,6 +98,8 @@ def compile(
     majority_window: int = 5,
     num_classes: int = 4,
     label: Optional[str] = None,
+    on_invalid: Optional[str] = None,
+    input_range: Optional[tuple] = None,
     **opts: Any,
 ) -> Engine:
     """Compile a model artifact for an execution target.
@@ -115,6 +117,13 @@ def compile(
         Default FIFO length of :meth:`Engine.stream` sessions.
     num_classes:
         Number of people-count classes (4 for LINAIGE).
+    on_invalid:
+        Input-validation policy for NaN/Inf/out-of-range frames —
+        ``"reject"``, ``"clamp"`` or ``"hold_last"`` (see
+        :mod:`repro.engine.guard`).  ``None`` (default) disables guarding,
+        keeping behavior bit-identical to unguarded engines.
+    input_range:
+        Optional ``(lo, hi)`` valid pixel range enforced by the guard.
     **opts:
         Forwarded to the backend constructor (e.g. ``platform=`` or
         ``compiled=`` for the simulated targets, ``deployment_model=`` for
@@ -128,4 +137,10 @@ def compile(
     spec = get_target(target)
     bundle = model if isinstance(model, ModelBundle) else ModelBundle(model, label=label)
     backend = spec.backend_cls(bundle, **opts)
-    return Engine(backend, majority_window=majority_window, num_classes=num_classes)
+    return Engine(
+        backend,
+        majority_window=majority_window,
+        num_classes=num_classes,
+        on_invalid=on_invalid,
+        input_range=input_range,
+    )

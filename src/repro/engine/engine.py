@@ -20,8 +20,18 @@ from typing import List, Optional
 import numpy as np
 
 from ..postproc.majority import MajorityVoter
+from .guard import make_guard
 from .registry import EngineError
-from .results import BatchPrediction, Prediction, StreamSummary, StreamUpdate
+from .results import (
+    BatchPrediction,
+    Prediction,
+    StreamHealth,
+    StreamSummary,
+    StreamUpdate,
+)
+
+#: Sentinel for Engine.stream keyword defaults: "inherit the engine's value".
+_INHERIT = object()
 
 
 class Engine:
@@ -35,10 +45,22 @@ class Engine:
     contention point.
     """
 
-    def __init__(self, backend, majority_window: int = 5, num_classes: int = 4):
+    def __init__(
+        self,
+        backend,
+        majority_window: int = 5,
+        num_classes: int = 4,
+        on_invalid: Optional[str] = None,
+        input_range: Optional[tuple] = None,
+    ):
         self.backend = backend
         self.majority_window = majority_window
         self.num_classes = num_classes
+        # Input guardrail: None (the default) keeps the historical behavior —
+        # frames reach the backend untouched, bit-identical to older engines.
+        self.on_invalid = on_invalid
+        self.input_range = input_range
+        self._guard = make_guard(on_invalid, input_range)
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -64,26 +86,41 @@ class Engine:
     def predict(self, frame: np.ndarray) -> Prediction:
         """Run one ``(C, H, W)`` preprocessed frame."""
         with self._lock:
-            return self.backend.predict_frame(np.asarray(frame))
+            frame = np.asarray(frame)
+            if self._guard is not None:
+                frame = self._guard.apply(frame[None])[0]
+            return self.backend.predict_frame(frame)
 
     def predict_batch(self, frames: np.ndarray) -> BatchPrediction:
         """Run a ``(N, C, H, W)`` batch of preprocessed frames."""
         with self._lock:
-            return self.backend.predict_batch(np.asarray(frames))
+            frames = np.asarray(frames)
+            if self._guard is not None:
+                frames = self._guard.apply(frames)
+            return self.backend.predict_batch(frames)
 
     def stream(
-        self, window: Optional[int] = None, num_classes: Optional[int] = None
+        self,
+        window: Optional[int] = None,
+        num_classes: Optional[int] = None,
+        on_invalid=_INHERIT,
+        input_range=_INHERIT,
     ) -> "StreamSession":
         """Open a streaming session (majority-voting FIFO included).
 
-        For the served, multi-session equivalent — many concurrent sensor
-        streams over one engine, with cross-session micro-batching — see
-        :mod:`repro.serve` (``repro.serve.start_server(engine)``).
+        ``on_invalid`` / ``input_range`` default to the engine's settings;
+        pass ``on_invalid=None`` explicitly to disable guarding for one
+        session.  For the served, multi-session equivalent — many
+        concurrent sensor streams over one engine, with cross-session
+        micro-batching — see :mod:`repro.serve`
+        (``repro.serve.start_server(engine)``).
         """
         return StreamSession(
             self.backend,
             window=window if window is not None else self.majority_window,
             num_classes=num_classes if num_classes is not None else self.num_classes,
+            on_invalid=self.on_invalid if on_invalid is _INHERIT else on_invalid,
+            input_range=self.input_range if input_range is _INHERIT else input_range,
         )
 
     def report(self, frames: Optional[np.ndarray] = None, *, measured=None):
@@ -125,13 +162,24 @@ class StreamSession:
     energy statistics are accumulated when the target reports them.
     """
 
-    def __init__(self, backend, window: int = 5, num_classes: int = 4):
+    def __init__(
+        self,
+        backend,
+        window: int = 5,
+        num_classes: int = 4,
+        on_invalid: Optional[str] = None,
+        input_range: Optional[tuple] = None,
+    ):
         self.backend = backend
         self.window = window
+        self.on_invalid = on_invalid
+        self.input_range = input_range
         self.voter = MajorityVoter(window=window, num_classes=num_classes)
+        self._guard = make_guard(on_invalid, input_range)
         self._raw: List[int] = []
         self._voted: List[int] = []
         self._cycles: List[int] = []
+        self._margins: List[float] = []
         self._energy_uj = 0.0
         self._has_stats = True
         self._open = False
@@ -144,9 +192,11 @@ class StreamSession:
         # Re-entering starts a fresh run: clear the FIFO and every
         # accumulator together so summary() never mixes two runs.
         self.voter.reset()
+        self._guard = make_guard(self.on_invalid, self.input_range)
         self._raw = []
         self._voted = []
         self._cycles = []
+        self._margins = []
         self._energy_uj = 0.0
         self._has_stats = True
         self._open = True
@@ -160,10 +210,15 @@ class StreamSession:
         """Feed one frame; returns the raw and majority-voted predictions."""
         if not self._open:
             raise EngineError("stream sessions must be entered with 'with' before push()")
-        result = self.backend.predict_frame(np.asarray(frame))
+        frame = np.asarray(frame)
+        if self._guard is not None:
+            frame = self._guard.apply(frame[None])[0]
+        result = self.backend.predict_frame(frame)
         voted = self.voter.update(result.prediction)
+        margin = self.voter.margin()
         self._raw.append(result.prediction)
         self._voted.append(voted)
+        self._margins.append(margin)
         if result.cycles is None:
             self._has_stats = False
         else:
@@ -175,6 +230,18 @@ class StreamSession:
             voted=voted,
             cycles=result.cycles,
             energy_uj=result.energy_uj,
+            margin=margin,
+        )
+
+    def health(self) -> StreamHealth:
+        """Input validity + vote stability counters for this session."""
+        margins = self._margins
+        return StreamHealth(
+            frames=len(self._raw),
+            invalid_frames=self._guard.health.invalid_frames if self._guard else 0,
+            last_margin=margins[-1] if margins else None,
+            mean_margin=float(np.mean(margins)) if margins else None,
+            min_margin=float(np.min(margins)) if margins else None,
         )
 
     def summary(self) -> StreamSummary:
@@ -186,6 +253,7 @@ class StreamSession:
             voted_predictions=np.asarray(self._voted, dtype=np.int64),
             cycles_per_frame=np.asarray(self._cycles, dtype=np.int64) if stats else None,
             total_energy_uj=self._energy_uj if stats else None,
+            health=self.health(),
         )
 
     def __len__(self) -> int:

@@ -1,0 +1,143 @@
+"""Input-validation guardrails for engines and serving sessions.
+
+Real sensor streams carry NaNs (I2C glitches), Infs (divide-by-zero in
+on-node calibration) and wildly out-of-range values (ADC rail hits).  An
+:class:`InputGuard` screens each frame before it reaches a backend, under
+one of three policies:
+
+``"reject"``
+    Raise :class:`InvalidFrameError` — the caller (or the serving layer,
+    as an HTTP 400) decides what to do.
+``"clamp"``
+    Replace non-finite pixels with 0 and clip every pixel into
+    ``input_range`` (when given).  Cheap and stateless.
+``"hold_last"``
+    Substitute the whole invalid frame with the last valid frame seen on
+    this guard (zeros if none yet) — the firmware-style choice that keeps
+    the majority FIFO fed at a constant rate.
+
+The guard also keeps per-stream health counters (frames seen, invalid
+frames) that :meth:`~repro.engine.engine.StreamSession.health` and the
+serving layer's per-session ``/metrics`` gauges report.
+
+A ``policy`` of ``None`` disables the guard entirely — the default, so
+existing pipelines stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .registry import EngineError
+
+POLICIES = ("reject", "clamp", "hold_last")
+
+
+class InvalidFrameError(EngineError):
+    """A frame failed validation under the ``"reject"`` policy."""
+
+
+@dataclass
+class GuardHealth:
+    """Counters of one guard instance (one engine or one stream/session)."""
+
+    frames_seen: int = 0
+    invalid_frames: int = 0
+
+    @property
+    def invalid_fraction(self) -> float:
+        if self.frames_seen == 0:
+            return 0.0
+        return self.invalid_frames / self.frames_seen
+
+
+class InputGuard:
+    """Screen ``(N, ...)`` frame batches for NaN/Inf/out-of-range values.
+
+    Not thread-safe by itself; callers (``Engine``, serving sessions) apply
+    it under their own locks.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        input_range: Optional[Tuple[float, float]] = None,
+    ):
+        if policy not in POLICIES:
+            raise EngineError(
+                f"unknown on_invalid policy {policy!r}; expected one of {POLICIES}"
+            )
+        if input_range is not None:
+            lo, hi = float(input_range[0]), float(input_range[1])
+            if not lo < hi:
+                raise EngineError(f"input_range must satisfy lo < hi, got {input_range!r}")
+            input_range = (lo, hi)
+        self.policy = policy
+        self.input_range = input_range
+        self.health = GuardHealth()
+        self._last_valid: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def _invalid_mask(self, frames: np.ndarray) -> np.ndarray:
+        """Per-frame boolean: does the frame contain any offending pixel?"""
+        reduce_axes = tuple(range(1, frames.ndim))
+        bad = ~np.isfinite(frames)
+        if self.input_range is not None:
+            lo, hi = self.input_range
+            with np.errstate(invalid="ignore"):
+                bad |= (frames < lo) | (frames > hi)
+        return bad.any(axis=reduce_axes)
+
+    def apply(self, frames: np.ndarray) -> np.ndarray:
+        """Validate/repair a ``(N, ...)`` batch according to the policy.
+
+        Returns the input object untouched when every frame is valid, so
+        the clean path stays zero-copy and bit-identical.
+        """
+        arr = np.asarray(frames)
+        if arr.ndim < 2 or arr.shape[0] == 0:
+            return frames
+        invalid = self._invalid_mask(arr)
+        n_invalid = int(invalid.sum())
+        self.health.frames_seen += int(arr.shape[0])
+        self.health.invalid_frames += n_invalid
+        if n_invalid == 0:
+            if self.policy == "hold_last":
+                self._last_valid = np.array(arr[-1], dtype=np.float64)
+            return frames
+        if self.policy == "reject":
+            where = np.flatnonzero(invalid)[:8].tolist()
+            raise InvalidFrameError(
+                f"{n_invalid}/{arr.shape[0]} frames contain NaN/Inf"
+                + (" or out-of-range pixels" if self.input_range else " pixels")
+                + f" (first offenders at batch indices {where})"
+            )
+        out = arr.astype(np.float64, copy=True)
+        if self.policy == "clamp":
+            out[~np.isfinite(out)] = 0.0
+            if self.input_range is not None:
+                np.clip(out, self.input_range[0], self.input_range[1], out=out)
+            return out
+        # hold_last: replace each invalid frame with the most recent valid one.
+        last = self._last_valid
+        for i in range(out.shape[0]):
+            if invalid[i]:
+                out[i] = last if last is not None else 0.0
+            else:
+                last = out[i]
+        if last is not None:
+            self._last_valid = np.array(last, dtype=np.float64)
+        return out
+
+
+def make_guard(
+    policy: Optional[str],
+    input_range: Optional[Tuple[float, float]] = None,
+) -> Optional[InputGuard]:
+    """``None`` policy -> no guard (the bit-identical default path)."""
+    if policy is None:
+        return None
+    return InputGuard(policy, input_range)

@@ -51,13 +51,36 @@ class BatchPrediction:
 
 @dataclass
 class StreamUpdate:
-    """One step of a :class:`~repro.engine.StreamSession`."""
+    """One step of a :class:`~repro.engine.StreamSession`.
+
+    ``margin`` is the majority FIFO's vote margin after this frame
+    (1.0 unanimous, 0.0 tie) — a cheap stability signal for health
+    monitoring under sensor faults.
+    """
 
     index: int
     raw: int
     voted: int
     cycles: Optional[int] = None
     energy_uj: Optional[float] = None
+    margin: Optional[float] = None
+
+
+@dataclass
+class StreamHealth:
+    """Per-stream health counters (input validity and vote stability)."""
+
+    frames: int = 0
+    invalid_frames: int = 0
+    last_margin: Optional[float] = None
+    mean_margin: Optional[float] = None
+    min_margin: Optional[float] = None
+
+    @property
+    def invalid_fraction(self) -> float:
+        if self.frames == 0:
+            return 0.0
+        return self.invalid_frames / self.frames
 
 
 @dataclass
@@ -69,6 +92,7 @@ class StreamSummary:
     voted_predictions: np.ndarray
     cycles_per_frame: Optional[np.ndarray] = None
     total_energy_uj: Optional[float] = None
+    health: Optional[StreamHealth] = None
 
     @property
     def frames(self) -> int:

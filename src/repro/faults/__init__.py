@@ -1,0 +1,85 @@
+"""`repro.faults` — seeded sensor/uplink fault injection from dataset to serving.
+
+The paper's sensor is a cheap 8x8 thermopile array: dead pixels, ambient
+drift and flaky uplinks are the normal operating regime, not the exception.
+This subpackage models those failure modes as seeded, composable
+:class:`FaultModel` transforms over ``(N, H, W)`` frame streams, behind a
+``@register_fault`` registry mirroring the engine's target registry:
+
+    from repro.faults import build_fault, available_faults
+
+    fault = build_fault("dead-pixels", severity=0.3)
+    faulted = fault.apply(raw_frames, seed=7)          # offline variant
+
+Online, the same models wrap live streams frame-by-frame — and because
+every model is chunk-invariant, online injection is bit-identical to the
+offline application for the same seed::
+
+    from repro.faults import StreamInjector, wrap_stream
+
+    with wrap_stream(engine.stream(window=5), "frame-drop", 0.4, seed=7) as s:
+        updates = [s.push(f) for f in raw_frames]
+
+The robustness harness (:mod:`repro.robustness`) sweeps this registry over
+severities and execution targets to produce degradation curves.
+"""
+
+from .inject import (
+    FaultInjectingClient,
+    FaultyStreamSession,
+    StreamInjector,
+    make_faulted_variant,
+    wrap_stream,
+)
+from .models import (
+    AmbientDrift,
+    BurstDropout,
+    DeadPixels,
+    FaultModel,
+    FaultPipeline,
+    FaultState,
+    FrameDrop,
+    GainDrift,
+    GaussianNoise,
+    SaltPepper,
+    SensorReset,
+    StuckPixels,
+)
+from .registry import (
+    FaultError,
+    FaultSpec,
+    available_faults,
+    build_fault,
+    fault_table,
+    get_fault,
+    register_fault,
+    unregister_fault,
+)
+
+__all__ = [
+    "AmbientDrift",
+    "BurstDropout",
+    "DeadPixels",
+    "FaultError",
+    "FaultInjectingClient",
+    "FaultModel",
+    "FaultPipeline",
+    "FaultSpec",
+    "FaultState",
+    "FaultyStreamSession",
+    "FrameDrop",
+    "GainDrift",
+    "GaussianNoise",
+    "SaltPepper",
+    "SensorReset",
+    "StreamInjector",
+    "StuckPixels",
+    "available_faults",
+    "build_fault",
+    "fault_table",
+    "get_fault",
+    "make_faulted_variant",
+    "register_fault",
+    "unregister_fault",
+    "wrap_stream",
+]

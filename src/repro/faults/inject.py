@@ -1,0 +1,154 @@
+"""Online fault injection: per-frame injectors for streams and clients.
+
+The offline path applies a fault to a whole ``(N, ...)`` array; the online
+path wraps a live stream — an ``Engine.stream`` session or a ``ServeClient``
+— and corrupts frames as they are pushed.  Both share one
+:class:`~repro.faults.models.FaultState`, and because every model is
+chunk-invariant the two paths produce bit-identical frames for the same
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .models import FaultModel, FaultPipeline, FaultState, SeedLike
+from .registry import build_fault
+
+FaultLike = Union[str, FaultModel, FaultPipeline]
+
+
+def _resolve(fault: FaultLike, severity: Optional[float]) -> Union[FaultModel, FaultPipeline]:
+    if isinstance(fault, str):
+        if severity is None:
+            raise ValueError("severity is required when naming a fault by string")
+        return build_fault(fault, severity)
+    return fault
+
+
+class StreamInjector:
+    """Stateful per-frame fault application over one logical stream.
+
+    Call it with any chunking — single frames, bursts, the whole stream —
+    and the output equals one offline ``fault.apply`` over the
+    concatenation.  ``reset()`` rewinds to frame zero for an exact replay.
+    """
+
+    def __init__(
+        self,
+        fault: FaultLike,
+        severity: Optional[float] = None,
+        seed: SeedLike = 0,
+    ):
+        self.fault = _resolve(fault, severity)
+        self._seed = seed
+        self._state: FaultState = self.fault.state(seed)
+        self.frames_seen = 0
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        """Corrupt a ``(N, H, W)`` / ``(N, C, H, W)`` chunk in stream order."""
+        out = self.fault.apply(frames, self._state)
+        self.frames_seen += int(np.asarray(frames).shape[0])
+        return out
+
+    def reset(self, seed: Optional[SeedLike] = None) -> None:
+        if seed is not None:
+            self._seed = seed
+        self._state = self.fault.state(self._seed)
+        self.frames_seen = 0
+
+
+class FaultyStreamSession:
+    """Wrap an ``Engine.stream`` session so every pushed frame is faulted.
+
+    Usage::
+
+        injector = StreamInjector("gaussian-noise", severity=0.3, seed=7)
+        with FaultyStreamSession(engine.stream(window=5), injector) as s:
+            for frame in frames:
+                update = s.push(frame)
+    """
+
+    def __init__(self, session, injector: StreamInjector):
+        self._session = session
+        self.injector = injector
+
+    def __enter__(self) -> "FaultyStreamSession":
+        self._session.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._session.__exit__(exc_type, exc, tb)
+
+    def push(self, frame: np.ndarray):
+        frame = np.asarray(frame)
+        faulted = self.injector(frame[None])[0]
+        return self._session.push(faulted)
+
+    def summary(self):
+        return self._session.summary()
+
+    def __len__(self) -> int:
+        return len(self._session)
+
+
+def wrap_stream(session, fault: FaultLike, severity: Optional[float] = None,
+                seed: SeedLike = 0) -> FaultyStreamSession:
+    """Convenience: ``wrap_stream(engine.stream(), "frame-drop", 0.5)``."""
+    return FaultyStreamSession(session, StreamInjector(fault, severity, seed))
+
+
+class FaultInjectingClient:
+    """Wrap a ``ServeClient`` (or ``SessionStream``-compatible object) so
+    every pushed chunk is faulted before it leaves the node.
+
+    Only ``push`` is intercepted; every other attribute (``open_session``,
+    ``close_session``, ``healthz``, ...) proxies to the wrapped client.
+    One injector means one logical stream — give each concurrent session
+    its own wrapper.
+    """
+
+    def __init__(self, client, fault: FaultLike, severity: Optional[float] = None,
+                 seed: SeedLike = 0):
+        self._client = client
+        self.injector = StreamInjector(fault, severity, seed)
+
+    def push(self, *args, **kwargs):
+        # ServeClient.push(session_id, frames) vs SessionStream.push(frames).
+        frames = kwargs.pop("frames", None)
+        if frames is None:
+            *head, frames = args
+        else:
+            head = list(args)
+        arr = np.asarray(frames, dtype=np.float64)
+        single = arr.ndim == 3
+        faulted = self.injector(arr[None] if single else arr)
+        if single:
+            faulted = faulted[0]
+        return self._client.push(*head, faulted, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._client, name)
+
+    def __enter__(self) -> "FaultInjectingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._client.close()
+
+
+def make_faulted_variant(
+    frames: np.ndarray,
+    fault: FaultLike,
+    severity: Optional[float] = None,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Offline helper: a faulted copy of a dataset's raw frames.
+
+    Labels stay aligned — every fault model preserves frame count (drops
+    repeat the previous delivery rather than shortening the stream).
+    """
+    model = _resolve(fault, severity)
+    return model.apply(np.asarray(frames), model.state(seed))

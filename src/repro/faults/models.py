@@ -1,0 +1,389 @@
+"""Seeded, composable fault models over ``(N, H, W)`` frame streams.
+
+Every model derives from :class:`FaultModel` and transforms a chunk of
+sensor-domain frames (raw Celsius, before any preprocessing).  Three
+properties hold for every registered model and are enforced by property
+tests:
+
+* **Replay determinism** — applying a fault twice with states derived from
+  the same :class:`numpy.random.SeedSequence` yields bit-identical frames.
+* **Chunk invariance** — feeding a stream frame-by-frame (or in arbitrary
+  chunks) through one persistent :class:`FaultState` equals applying the
+  fault to the whole array at once.  Per-frame randomness is drawn from
+  sequentially spawned ``SeedSequence`` children, so the split points do
+  not matter.  This is what lets the offline dataset path and the online
+  per-frame injector (:mod:`repro.faults.inject`) share one implementation.
+* **Severity zero is the identity** — values, shape and dtype unchanged.
+
+Shapes: a chunk is ``(N, H, W)`` or ``(N, C, H, W)``; shape and dtype are
+always preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .registry import FaultError, register_fault
+
+SeedLike = Union[int, Sequence[int], np.random.SeedSequence]
+
+
+@dataclass
+class FaultState:
+    """Mutable per-stream state of one fault model application.
+
+    ``seed_seq`` is consumed by sequential ``spawn()`` calls (one child per
+    frame, plus one up-front for static structure), which is what makes the
+    fault chunk-invariant: the i-th frame always sees the i-th child no
+    matter how the stream is split into ``apply`` calls.
+    """
+
+    seed_seq: np.random.SeedSequence
+    t: int = 0
+    last_frame: Optional[np.ndarray] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+class FaultModel:
+    """Base class: a seeded transform over sensor-frame streams.
+
+    ``severity`` in ``[0, 1]`` scales the model's knob (pixel fraction,
+    noise sigma, drop rate, ...); ``severity == 0`` short-circuits to the
+    identity.  Subclasses implement :meth:`_apply_frame` (and optionally
+    :meth:`_init_state` for static structure such as pixel masks) and never
+    touch RNG outside the ``rng`` they are handed.
+    """
+
+    def __init__(self, severity: float):
+        severity = float(severity)
+        if not 0.0 <= severity <= 1.0:
+            raise FaultError(f"severity must be in [0, 1], got {severity!r}")
+        self.severity = severity
+
+    # ------------------------------------------------------------------ #
+    def state(self, seed: SeedLike = 0) -> FaultState:
+        """Fresh per-stream state; pass the same seed to replay exactly."""
+        return FaultState(seed_seq=_as_seed_sequence(seed))
+
+    def apply(
+        self,
+        frames: np.ndarray,
+        state: Optional[FaultState] = None,
+        *,
+        seed: SeedLike = 0,
+    ) -> np.ndarray:
+        """Transform a ``(N, H, W)`` or ``(N, C, H, W)`` chunk.
+
+        With an explicit ``state`` the call continues a stream (online
+        injection); without one a fresh state is derived from ``seed``
+        (one-shot offline application).  Shape and dtype are preserved.
+        """
+        frames = np.asarray(frames)
+        if frames.ndim not in (3, 4):
+            raise FaultError(
+                f"expected (N, H, W) or (N, C, H, W) frames, got shape {frames.shape}"
+            )
+        if self.severity == 0.0:
+            return np.array(frames, copy=True)
+        if state is None:
+            state = self.state(seed)
+        out = frames.astype(np.float64, copy=True)
+        # Uniform (N, C, H, W) view so pixel masks work for both layouts.
+        work = out if out.ndim == 4 else out[:, None]
+        if not state.extra.get("_ready", False):
+            init_rng = np.random.default_rng(state.seed_seq.spawn(1)[0])
+            self._init_state(state, init_rng, work.shape[1:])
+            state.extra["_ready"] = True
+        for i in range(work.shape[0]):
+            rng = np.random.default_rng(state.seed_seq.spawn(1)[0])
+            result = self._apply_frame(work[i], rng, state)
+            if result is None:
+                # Dropped frame: the uplink repeats the last delivered frame
+                # (or passes the clean frame through if nothing came before).
+                if state.last_frame is not None:
+                    work[i] = state.last_frame
+            else:
+                work[i] = result
+            state.last_frame = work[i].copy()
+            state.t += 1
+        return out.astype(frames.dtype)
+
+    # ------------------------------------------------------------------ #
+    def _init_state(
+        self, state: FaultState, rng: np.random.Generator, frame_shape: tuple
+    ) -> None:
+        """Draw static per-stream structure (pixel masks, ...). Optional."""
+
+    def _apply_frame(
+        self, frame: np.ndarray, rng: np.random.Generator, state: FaultState
+    ) -> Optional[np.ndarray]:
+        """Transform one ``(C, H, W)`` frame; return ``None`` to drop it."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        name = getattr(getattr(self, "spec", None), "name", type(self).__name__)
+        return f"{name}(severity={self.severity:g})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+# --------------------------------------------------------------------- #
+def _pixel_mask(
+    rng: np.random.Generator, frame_shape: tuple, fraction: float
+) -> np.ndarray:
+    """Flat H*W indices of the affected pixels (at least one if fraction>0)."""
+    pixels = int(frame_shape[-2] * frame_shape[-1])
+    count = max(1, int(round(fraction * pixels))) if fraction > 0 else 0
+    return rng.choice(pixels, size=min(count, pixels), replace=False)
+
+
+@register_fault(
+    "dead-pixels",
+    description="a fixed subset of pixels always reads a constant value",
+)
+class DeadPixels(FaultModel):
+    """Pixels stuck at a constant (e.g. a failed thermopile reading 0 C)."""
+
+    def __init__(self, severity: float, max_fraction: float = 0.25, value: float = 0.0):
+        super().__init__(severity)
+        self.max_fraction = float(max_fraction)
+        self.value = float(value)
+
+    def _init_state(self, state, rng, frame_shape):
+        state.extra["mask"] = _pixel_mask(
+            rng, frame_shape, self.severity * self.max_fraction
+        )
+
+    def _apply_frame(self, frame, rng, state):
+        flat = frame.reshape(frame.shape[0], -1)
+        flat[:, state.extra["mask"]] = self.value
+        return frame
+
+
+@register_fault(
+    "stuck-pixels",
+    description="a fixed subset of pixels freezes at its first observed value",
+)
+class StuckPixels(FaultModel):
+    """Pixels that latch whatever they read when the fault set in."""
+
+    def __init__(self, severity: float, max_fraction: float = 0.25):
+        super().__init__(severity)
+        self.max_fraction = float(max_fraction)
+
+    def _init_state(self, state, rng, frame_shape):
+        state.extra["mask"] = _pixel_mask(
+            rng, frame_shape, self.severity * self.max_fraction
+        )
+
+    def _apply_frame(self, frame, rng, state):
+        flat = frame.reshape(frame.shape[0], -1)
+        mask = state.extra["mask"]
+        if "stuck_values" not in state.extra:
+            state.extra["stuck_values"] = flat[:, mask].copy()
+        flat[:, mask] = state.extra["stuck_values"]
+        return frame
+
+
+@register_fault(
+    "gaussian-noise",
+    description="additive white Gaussian read noise on every pixel",
+)
+class GaussianNoise(FaultModel):
+    def __init__(self, severity: float, sigma_scale: float = 2.0):
+        super().__init__(severity)
+        self.sigma_scale = float(sigma_scale)
+
+    def _apply_frame(self, frame, rng, state):
+        frame += rng.normal(0.0, self.severity * self.sigma_scale, size=frame.shape)
+        return frame
+
+
+@register_fault(
+    "salt-pepper",
+    description="per-pixel saturation flips to the ADC rails",
+)
+class SaltPepper(FaultModel):
+    """Impulse noise: pixels randomly slam to the low/high rail."""
+
+    def __init__(
+        self,
+        severity: float,
+        max_rate: float = 0.15,
+        low: float = 0.0,
+        high: float = 40.0,
+    ):
+        super().__init__(severity)
+        self.max_rate = float(max_rate)
+        self.low = float(low)
+        self.high = float(high)
+
+    def _apply_frame(self, frame, rng, state):
+        rate = self.severity * self.max_rate
+        u = rng.random(size=frame.shape)
+        frame[u < rate / 2.0] = self.high
+        frame[(u >= rate / 2.0) & (u < rate)] = self.low
+        return frame
+
+
+@register_fault(
+    "ambient-drift",
+    description="slow additive ambient-temperature ramp",
+    temporal=True,
+)
+class AmbientDrift(FaultModel):
+    """The room (or the package) heats up: a linear offset ramp in Celsius."""
+
+    def __init__(
+        self, severity: float, max_offset_c: float = 6.0, ramp_frames: int = 200
+    ):
+        super().__init__(severity)
+        self.max_offset_c = float(max_offset_c)
+        self.ramp_frames = int(ramp_frames)
+
+    def _apply_frame(self, frame, rng, state):
+        progress = min(1.0, state.t / max(1, self.ramp_frames))
+        frame += self.severity * self.max_offset_c * progress
+        return frame
+
+
+@register_fault(
+    "gain-drift",
+    description="slow multiplicative gain ramp (sensor responsivity drift)",
+    temporal=True,
+)
+class GainDrift(FaultModel):
+    def __init__(self, severity: float, max_gain: float = 0.5, ramp_frames: int = 200):
+        super().__init__(severity)
+        self.max_gain = float(max_gain)
+        self.ramp_frames = int(ramp_frames)
+
+    def _apply_frame(self, frame, rng, state):
+        progress = min(1.0, state.t / max(1, self.ramp_frames))
+        frame *= 1.0 + self.severity * self.max_gain * progress
+        return frame
+
+
+@register_fault(
+    "frame-drop",
+    description="i.i.d. dropped frames; the uplink repeats the last delivery",
+    temporal=True,
+)
+class FrameDrop(FaultModel):
+    def __init__(self, severity: float, max_rate: float = 0.5):
+        super().__init__(severity)
+        self.max_rate = float(max_rate)
+
+    def _apply_frame(self, frame, rng, state):
+        if rng.random() < self.severity * self.max_rate:
+            return None
+        return frame
+
+
+@register_fault(
+    "burst-dropout",
+    description="bursty uplink outages repeating the last delivered frame",
+    temporal=True,
+)
+class BurstDropout(FaultModel):
+    def __init__(
+        self, severity: float, burst_frames: int = 8, max_rate: float = 0.05
+    ):
+        super().__init__(severity)
+        self.burst_frames = int(burst_frames)
+        self.max_rate = float(max_rate)
+
+    def _apply_frame(self, frame, rng, state):
+        left = state.extra.get("burst_left", 0)
+        if left > 0:
+            state.extra["burst_left"] = left - 1
+            return None
+        if rng.random() < self.severity * self.max_rate:
+            state.extra["burst_left"] = self.burst_frames - 1
+            return None
+        return frame
+
+
+@register_fault(
+    "sensor-reset",
+    description="spontaneous resets emitting constant frames while rebooting",
+    temporal=True,
+)
+class SensorReset(FaultModel):
+    def __init__(
+        self,
+        severity: float,
+        reset_frames: int = 3,
+        max_rate: float = 0.03,
+        reset_value: float = 0.0,
+    ):
+        super().__init__(severity)
+        self.reset_frames = int(reset_frames)
+        self.max_rate = float(max_rate)
+        self.reset_value = float(reset_value)
+
+    def _apply_frame(self, frame, rng, state):
+        left = state.extra.get("reset_left", 0)
+        if left > 0:
+            state.extra["reset_left"] = left - 1
+            frame[...] = self.reset_value
+            return frame
+        if rng.random() < self.severity * self.max_rate:
+            state.extra["reset_left"] = self.reset_frames - 1
+            frame[...] = self.reset_value
+            return frame
+        return frame
+
+
+# --------------------------------------------------------------------- #
+class FaultPipeline:
+    """Compose several fault models into one stream transform.
+
+    Faults apply in order; each keeps an independent sub-state seeded from
+    one ``SeedSequence.spawn`` per member, so a pipeline is exactly as
+    replayable and chunk-invariant as its parts.
+    """
+
+    def __init__(self, faults: Iterable[FaultModel]):
+        self.faults = list(faults)
+        for fault in self.faults:
+            if not isinstance(fault, FaultModel):
+                raise FaultError(f"not a FaultModel: {fault!r}")
+
+    def state(self, seed: SeedLike = 0) -> FaultState:
+        root = _as_seed_sequence(seed)
+        state = FaultState(seed_seq=root)
+        state.extra["children"] = [
+            FaultState(seed_seq=child) for child in root.spawn(len(self.faults))
+        ]
+        return state
+
+    def apply(
+        self,
+        frames: np.ndarray,
+        state: Optional[FaultState] = None,
+        *,
+        seed: SeedLike = 0,
+    ) -> np.ndarray:
+        if state is None:
+            state = self.state(seed)
+        out = frames
+        for fault, sub in zip(self.faults, state.extra["children"]):
+            out = fault.apply(out, sub)
+        return np.array(out, copy=True) if out is frames else out
+
+    def describe(self) -> str:
+        return " | ".join(f.describe() for f in self.faults) or "identity"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPipeline({self.describe()})"

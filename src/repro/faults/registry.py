@@ -1,0 +1,116 @@
+"""Fault-model registry for the :mod:`repro.faults` subsystem.
+
+Every way a cheap thermal sensor (or its uplink) can misbehave — dead
+pixels, ambient drift, dropped frames, spontaneous resets — is a *fault
+model*.  Fault models are registered with :func:`register_fault`, mirroring
+how execution backends register with ``repro.engine.registry``:
+
+    @register_fault("my-fault", description="...")
+    class MyFault(FaultModel):
+        ...
+
+and are reachable by name through :func:`build_fault`, so harnesses such as
+``repro.robustness.evaluate`` can sweep the whole catalogue without knowing
+any model's construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class FaultError(RuntimeError):
+    """Raised for fault-layer failures: unknown models, bad severities."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Static description of one registered fault model.
+
+    ``temporal`` marks models whose effect depends on frame position in the
+    stream (drift ramps, bursts, resets); purely per-frame models can be
+    evaluated on shuffled frames, temporal ones cannot.
+    """
+
+    name: str
+    description: str
+    fault_cls: type
+    aliases: Tuple[str, ...] = ()
+    temporal: bool = False
+
+
+_REGISTRY: Dict[str, FaultSpec] = {}
+
+
+def register_fault(
+    name: str,
+    *,
+    description: str = "",
+    aliases: Tuple[str, ...] = (),
+    temporal: bool = False,
+):
+    """Class decorator registering a :class:`~repro.faults.models.FaultModel`
+    under ``name`` (and optional ``aliases``)."""
+
+    def decorator(cls: type) -> type:
+        spec = FaultSpec(
+            name=name,
+            description=description,
+            fault_cls=cls,
+            aliases=tuple(aliases),
+            temporal=temporal,
+        )
+        keys = [key.lower() for key in (name, *aliases)]
+        # Validate every key before inserting any, so a collision cannot
+        # leave the registry partially populated.
+        for canonical in keys:
+            if canonical in _REGISTRY:
+                raise ValueError(f"fault {canonical!r} is already registered")
+        for canonical in keys:
+            _REGISTRY[canonical] = spec
+        cls.spec = spec
+        return cls
+
+    return decorator
+
+
+def unregister_fault(name: str) -> None:
+    """Remove a fault model and all its aliases (mainly for tests/plugins)."""
+    spec = _REGISTRY.get(name.lower())
+    if spec is None:
+        return
+    for key in (spec.name, *spec.aliases):
+        _REGISTRY.pop(key.lower(), None)
+
+
+def get_fault(name: str) -> FaultSpec:
+    """Resolve a fault name (or alias) to its :class:`FaultSpec`."""
+    spec = _REGISTRY.get(str(name).lower())
+    if spec is None:
+        raise FaultError(
+            f"unknown fault {name!r}; available faults: "
+            + ", ".join(available_faults())
+        )
+    return spec
+
+
+def available_faults() -> List[str]:
+    """Sorted canonical names of every registered fault model."""
+    return sorted({spec.name for spec in _REGISTRY.values()})
+
+
+def build_fault(name: str, severity: float, **params):
+    """Instantiate a registered fault model at the given severity."""
+    spec = get_fault(name)
+    return spec.fault_cls(severity=severity, **params)
+
+
+def fault_table() -> str:
+    """Human-readable table of the registered fault models (for the docs)."""
+    rows = [f"{'fault':<16} {'temporal':<9} description"]
+    for name in available_faults():
+        spec = get_fault(name)
+        temporal = "yes" if spec.temporal else "no"
+        rows.append(f"{spec.name:<16} {temporal:<9} {spec.description}")
+    return "\n".join(rows)

@@ -327,8 +327,14 @@ class ShmRing:
         return struct.unpack_from("<Q", self._shm.buf, 8)[0]
 
     def occupancy(self) -> float:
-        """Fraction of the ring currently in flight (0.0 .. 1.0)."""
-        return (self.head - self.tail) / self.capacity
+        """Fraction of the ring currently in flight (0.0 .. 1.0).
+
+        Clamped: an empty-ring write whose wraparound skip plus payload
+        exceeds ``capacity`` (see :meth:`write`) briefly puts more than
+        ``capacity`` absolute bytes in flight even though no physical byte
+        is used twice.
+        """
+        return min(1.0, (self.head - self.tail) / self.capacity)
 
     # ------------------------------------------------------------------ #
     def write(
@@ -357,6 +363,16 @@ class ShmRing:
             pos = head % self.capacity
             skip = self.capacity - pos if pos + n > self.capacity else 0
             if (head + skip + n) - self.tail <= self.capacity:
+                break
+            if skip and self.tail == head:
+                # Ring empty: the skipped tail fragment holds no unconsumed
+                # bytes, so a payload whose skip + n window exceeds capacity
+                # (a near-maximal frame landing just past a wraparound) can
+                # still be placed at the buffer start without clobbering
+                # anything.  The absolute cursors advance by skip + n >
+                # capacity, which is fine — release() frees by cursor, not
+                # by byte position.  Without this clause such a write would
+                # poll forever: the fit condition above can never hold.
                 break
             if deadline is not None and time.monotonic() >= deadline:
                 raise RingFull(

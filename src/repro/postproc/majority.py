@@ -73,6 +73,22 @@ class MajorityVoter:
                     return value
         raise RuntimeError("unreachable: FIFO is non-empty")  # pragma: no cover
 
+    def margin(self) -> float:
+        """Vote margin of the current FIFO, in ``[0, 1]``.
+
+        ``(winner count - runner-up count) / len(fifo)``: 1.0 for a
+        unanimous window, 0.0 for a tie.  A shrinking margin is an early
+        signal that the stream's predictions are destabilizing (e.g. under
+        sensor faults) before the voted output actually flips.
+        """
+        with self._lock:
+            if not self._fifo:
+                return 1.0
+            top = Counter(self._fifo).most_common(2)
+            if len(top) == 1:
+                return 1.0
+            return (top[0][1] - top[1][1]) / len(self._fifo)
+
     def memory_bytes(self) -> int:
         """Extra RAM required by the filter (one byte per stored prediction)."""
         return self.window

@@ -40,9 +40,16 @@ shared-memory rings — same wire protocol, same bit-exact outputs;
 """
 
 from .batcher import FrameResult, MicroBatcher
-from .client import ServeClient, ServeClientError
+from .client import (
+    ConnectionDroppedError,
+    RetryPolicy,
+    ServeClient,
+    ServeClientError,
+    SessionStream,
+)
 from .errors import (
     BadRequestError,
+    InvalidFramesError,
     OverloadedError,
     ServeError,
     SessionClosedError,
@@ -54,6 +61,7 @@ from .metrics import ServeMetrics, quantile
 from .pool import EngineWorkerPool, PoolServeService, WorkerHandle, shard_of
 from .server import RunningServer, ServeServer, make_service, start_server
 from .service import (
+    ChaosConfig,
     DeferredResponse,
     PendingResponse,
     Response,
@@ -68,19 +76,24 @@ from .wsgi import make_wsgi_app
 
 __all__ = [
     "BadRequestError",
+    "ChaosConfig",
+    "ConnectionDroppedError",
     "DeferredResponse",
     "EngineWorkerPool",
     "FrameResult",
+    "InvalidFramesError",
     "MicroBatcher",
     "OverloadedError",
     "PendingResponse",
     "PoolServeService",
     "Response",
+    "RetryPolicy",
     "RunningServer",
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
     "ServeError",
+    "SessionStream",
     "ServeMetrics",
     "ServeServer",
     "ServeService",

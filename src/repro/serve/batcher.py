@@ -272,7 +272,7 @@ class MicroBatcher:
                                 )
                             )
                             continue
-                        voted = item.session.voter.update(raw)
+                        voted = item.session.record_vote(raw)
                         item.session.frames_done += 1
                     item.request.complete(
                         item.slot,

@@ -55,6 +55,14 @@ class BadRequestError(ServeError):
     code = "bad_request"
 
 
+class InvalidFramesError(ServeError):
+    """Frames failed input validation under the ``"reject"`` policy
+    (NaN/Inf pixels, or values outside the configured ``input_range``)."""
+
+    status = 400
+    code = "invalid_frames"
+
+
 class WorkerCrashedError(ServeError):
     """The engine worker process holding this session's shard died.
 
@@ -77,6 +85,7 @@ ERRORS_BY_CODE = {
         OverloadedError,
         ShuttingDownError,
         BadRequestError,
+        InvalidFramesError,
         WorkerCrashedError,
     )
 }

@@ -43,11 +43,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.guard import InvalidFrameError
 from ..parallel.shm import RingFull, ShmRing
 from .batcher import FrameResult
 from .errors import (
     ERRORS_BY_CODE,
     BadRequestError,
+    InvalidFramesError,
     OverloadedError,
     ServeError,
     ShuttingDownError,
@@ -508,6 +510,11 @@ class EngineWorkerPool:
         self._on_crash = on_crash
         self._stopping = False
         self._frame_shape: Optional[Tuple[int, ...]] = None
+        # Deterministic chaos bookkeeping (config.chaos; all counters, no RNG).
+        self.chaos_kills = 0
+        self._chaos_frames = 0
+        self._chaos_submits = 0
+        self._chaos_lock = threading.Lock()
         ctx = mp.get_context(config.mp_context)
         self.handles = [
             WorkerHandle(i, spec, config, ctx, on_crash=self._crashed)
@@ -556,10 +563,47 @@ class EngineWorkerPool:
         h.sessions.add(session_id)
         return h.index
 
+    def _apply_chaos(self, handle: WorkerHandle, n: int) -> None:
+        """Run the configured deterministic failure injection for one submit.
+
+        Trigger evaluation is counter-based under one lock; the disruptive
+        actions (sleep, SIGKILL, simulated ring-full 429) happen outside it.
+        A killed worker takes the normal PR 9 crash path — pump EOF, 503 on
+        in-flight requests, session purge, lazy respawn — so chaos tests
+        exercise exactly the machinery real crashes do.
+        """
+        chaos = self.config.chaos
+        if chaos is None:
+            return
+        with self._chaos_lock:
+            self._chaos_submits += 1
+            reject = bool(chaos.reject_every) and (
+                self._chaos_submits % chaos.reject_every == 0
+            )
+            kill = (
+                chaos.kill_after_frames is not None
+                and self.chaos_kills < chaos.max_kills
+                and (chaos.kill_worker is None or handle.index == chaos.kill_worker)
+                and self._chaos_frames + n >= chaos.kill_after_frames
+            )
+            if kill:
+                self.chaos_kills += 1
+            self._chaos_frames += n
+        if chaos.delay_ms > 0:
+            time.sleep(chaos.delay_ms / 1e3)
+        if kill:
+            handle.kill()
+        if reject:
+            raise OverloadedError(
+                f"chaos: simulated full request ring on worker {handle.index}"
+            )
+
     def submit(self, session_id: str, frames: np.ndarray) -> Future:
         if self._frame_shape is None and getattr(frames, "ndim", 0) == 4:
             self._frame_shape = tuple(int(d) for d in frames.shape[1:])
-        return self.handle(session_id).submit(session_id, frames, self.config.max_queue)
+        handle = self.handle(session_id)
+        self._apply_chaos(handle, int(frames.shape[0]))
+        return handle.submit(session_id, frames, self.config.max_queue)
 
     def close_session(self, session_id: str) -> Optional[dict]:
         """Close on the worker; None when the worker is gone (the caller
@@ -723,6 +767,10 @@ class PoolServeService(ServeService):
         session = self.sessions.get(session_id)
         if self._stopping:
             raise ShuttingDownError("server is draining")
+        try:
+            frames = self._guard_frames(session, frames)
+        except InvalidFrameError as exc:
+            raise InvalidFramesError(str(exc)) from exc
         n = int(frames.shape[0])
         # Check-and-increment atomically: two concurrent pushes to the same
         # session must not both pass the limit and over-admit.
@@ -751,8 +799,18 @@ class PoolServeService(ServeService):
         with session.lock:
             session.pending -= n
         if not future.cancelled() and future.exception() is None:
+            results = future.result()
             with session.lock:
                 session.frames_done += n
+                if isinstance(results, list):
+                    # Shadow-vote the worker's raw predictions through the
+                    # parent-side voter (unused otherwise in pool mode) so
+                    # the per-session vote-margin gauge works for every
+                    # worker count.  Settle callbacks run on the pump thread
+                    # in per-session FIFO order, matching the worker's own
+                    # voting order.
+                    for r in results:
+                        session.record_vote(r.raw)
             self.metrics.inc("frames_total", n)
 
     def close_session(self, session_id: str) -> dict:
@@ -804,6 +862,7 @@ class PoolServeService(ServeService):
             "workers_up": self.pool.workers_up(),
             "crashes_total": self.pool.crashes_total,
             "restarts_total": self.pool.restarts_total(),
+            "chaos_kills": self.pool.chaos_kills,
         }
 
     def _render_pool(self) -> str:

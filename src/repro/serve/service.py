@@ -20,13 +20,43 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..engine.guard import InvalidFrameError
 from .batcher import MicroBatcher
-from .errors import BadRequestError, ServeError, ShuttingDownError
+from .errors import (
+    BadRequestError,
+    InvalidFramesError,
+    ServeError,
+    ShuttingDownError,
+)
 from .metrics import ServeMetrics
 from .sessions import SessionManager
 
 _FRAMES_PATH = re.compile(r"^/v1/sessions/([0-9a-f]+)/frames$")
 _SESSION_PATH = re.compile(r"^/v1/sessions/([0-9a-f]+)$")
+
+
+@dataclass
+class ChaosConfig:
+    """Deterministic failure injection for the worker pool (tests/CI).
+
+    No randomness: every trigger is a plain counter over submits/frames, so
+    a chaos scenario replays identically.  All knobs default to off; the
+    config only takes effect with ``workers >= 1``.
+    """
+
+    #: SIGKILL a worker once this many frames have been submitted pool-wide
+    #: (exercises the PR 9 crash path: in-flight 503, session purge, lazy
+    #: respawn) — ``None`` disables.
+    kill_after_frames: Optional[int] = None
+    #: restrict the kill to one worker index (``None``: whichever worker
+    #: receives the submit that crosses the threshold).
+    kill_worker: Optional[int] = None
+    #: at most this many chaos kills per pool lifetime.
+    max_kills: int = 1
+    #: every Nth submit fails as if the request ring were full (HTTP 429).
+    reject_every: Optional[int] = None
+    #: added latency per submit, in milliseconds (slow-worker simulation).
+    delay_ms: float = 0.0
 
 
 @dataclass
@@ -48,11 +78,16 @@ class ServeConfig:
     request_timeout_s: float = 30.0
     majority_window: Optional[int] = None  # None: the engine's default
     num_classes: Optional[int] = None  # None: the engine's default
+    # --- input guardrails (None = no validation, the historical behavior) ---
+    on_invalid: Optional[str] = None  # "reject" | "clamp" | "hold_last"
+    input_range: Optional[Tuple[float, float]] = None
     # --- worker pool (0 = single-process serving, the default) ---
     workers: int = 0
     mp_context: str = "spawn"  # "fork" is faster to start but unsafe with threads
     ring_bytes: int = 4 * 1024 * 1024  # per direction, per worker
     worker_start_timeout_s: float = 120.0
+    #: deterministic failure injection (pool mode only; None = off)
+    chaos: Optional[ChaosConfig] = None
 
     def as_json(self) -> dict:
         payload = {
@@ -64,6 +99,10 @@ class ServeConfig:
         }
         if self.workers:  # keep the workers=0 wire format byte-identical
             payload["workers"] = self.workers
+        if self.on_invalid is not None:  # ditto for unguarded deployments
+            payload["on_invalid"] = self.on_invalid
+            if self.input_range is not None:
+                payload["input_range"] = list(self.input_range)
         return payload
 
 
@@ -170,6 +209,8 @@ class ServeService:
             if self.config.num_classes is not None
             else getattr(engine, "num_classes", 4),
             clock=clock,
+            on_invalid=self.config.on_invalid,
+            input_range=self.config.input_range,
         )
         self.batcher = MicroBatcher(
             engine.predict_batch,
@@ -182,6 +223,7 @@ class ServeService:
         )
         self.metrics.register_gauge("active_sessions", lambda: len(self.sessions))
         self.metrics.register_gauge("queue_depth", lambda: self.batcher.depth)
+        self.metrics.register_renderer(self._render_session_health)
         self._started = False
         self._stopping = False
 
@@ -221,8 +263,32 @@ class ServeService:
             "config": self.config.as_json(),
         }
 
+    def _guard_frames(self, session, frames: np.ndarray) -> np.ndarray:
+        """Apply the session's input guard (no-op when unconfigured).
+
+        Runs under the session lock so the guard's hold-last state and
+        counters see frames in admission order; maps a rejection to the
+        HTTP 400 ``invalid_frames`` error.
+        """
+        guard = session.guard
+        if guard is None:
+            return frames
+        with session.lock:
+            before = guard.health.invalid_frames
+            try:
+                frames = guard.apply(frames)
+            finally:
+                bad = guard.health.invalid_frames - before
+        if bad:
+            self.metrics.inc("invalid_frames_total", bad)
+        return frames
+
     def submit_frames(self, session_id: str, frames: np.ndarray) -> PendingResponse:
         session = self.sessions.get(session_id)
+        try:
+            frames = self._guard_frames(session, frames)
+        except InvalidFrameError as exc:
+            raise InvalidFramesError(str(exc)) from exc
         future = self.batcher.submit(session, frames)
         return PendingResponse(
             future=future,
@@ -334,6 +400,26 @@ class ServeService:
         except BaseException as exc:  # noqa: BLE001 - mapped to a response
             return self._observed(pending.endpoint, pending.fail(exc))
         return self._observed(pending.endpoint, pending.complete(results))
+
+    def _render_session_health(self) -> str:
+        """Per-session health gauges appended to the ``/metrics`` payload:
+        the faulty-frame fraction seen by each session's input guard and
+        the vote margin of its majority FIFO."""
+        sessions = self.sessions.snapshot()
+        if not sessions:
+            return ""
+        p = "repro_serve_session"
+        lines = [f"# TYPE {p}_invalid_fraction gauge"]
+        for s in sessions:
+            lines.append(
+                f'{p}_invalid_fraction{{session="{s.id}"}} {s.invalid_fraction:.6f}'
+            )
+        margins = [s for s in sessions if s.last_margin is not None]
+        if margins:
+            lines.append(f"# TYPE {p}_vote_margin gauge")
+            for s in margins:
+                lines.append(f'{p}_vote_margin{{session="{s.id}"}} {s.last_margin:.6f}')
+        return "\n".join(lines)
 
     def _observed(self, endpoint: str, response: Response) -> Response:
         self.metrics.observe_request(endpoint, response.status)

@@ -18,6 +18,7 @@ import time
 import uuid
 from typing import Callable, Dict, List, Optional
 
+from ..engine.guard import InputGuard, make_guard
 from ..postproc.majority import MajorityVoter
 from .errors import UnknownSessionError
 
@@ -31,29 +32,70 @@ class Session:
         window: int,
         num_classes: int,
         now: float,
+        guard: Optional[InputGuard] = None,
     ):
         self.id = session_id
         self.window = window
         self.num_classes = num_classes
         self.voter = MajorityVoter(window=window, num_classes=num_classes)
+        #: input guardrail (None unless the service configures ``on_invalid``)
+        self.guard = guard
         self.created = now
         self.last_active = now
         self.next_seq = 0  # frames admitted (sequence numbers handed out)
         self.frames_done = 0  # frames fully predicted + voted
         self.pending = 0  # frames admitted but not yet dispatched
         self.closed = False
+        # Vote-stability health: margin of the majority FIFO after the most
+        # recent frame (1.0 unanimous, 0.0 tie), plus running aggregates.
+        self.last_margin: Optional[float] = None
+        self.min_margin: Optional[float] = None
+        self._margin_sum = 0.0
+        self._margin_n = 0
         self.lock = threading.Lock()
 
     def touch(self, now: float) -> None:
         self.last_active = now
 
+    def record_vote(self, raw: int) -> int:
+        """Vote one raw prediction and track the resulting FIFO margin.
+
+        The caller must hold ``self.lock`` (the batcher dispatch thread or
+        the pool's settle callback already does).
+        """
+        voted = self.voter.update(raw)
+        margin = self.voter.margin()
+        self.last_margin = margin
+        self.min_margin = margin if self.min_margin is None else min(self.min_margin, margin)
+        self._margin_sum += margin
+        self._margin_n += 1
+        return voted
+
+    @property
+    def mean_margin(self) -> Optional[float]:
+        return self._margin_sum / self._margin_n if self._margin_n else None
+
+    @property
+    def invalid_frames(self) -> int:
+        return self.guard.health.invalid_frames if self.guard is not None else 0
+
+    @property
+    def invalid_fraction(self) -> float:
+        return self.guard.health.invalid_fraction if self.guard is not None else 0.0
+
     def describe(self) -> dict:
-        return {
+        payload = {
             "session_id": self.id,
             "window": self.window,
             "num_classes": self.num_classes,
             "frames_seen": self.frames_done,
         }
+        # Health keys appear only when guarding is configured, keeping the
+        # default wire format byte-identical to unguarded deployments.
+        if self.guard is not None:
+            payload["invalid_frames"] = self.invalid_frames
+            payload["vote_margin"] = self.last_margin
+        return payload
 
 
 class SessionManager:
@@ -70,12 +112,16 @@ class SessionManager:
         num_classes: int = 4,
         clock: Callable[[], float] = time.monotonic,
         on_evict: Optional[Callable[[Session], None]] = None,
+        on_invalid: Optional[str] = None,
+        input_range=None,
     ):
         if ttl_s <= 0:
             raise ValueError("ttl_s must be positive")
         self.ttl_s = ttl_s
         self.default_window = default_window
         self.num_classes = num_classes
+        self.on_invalid = on_invalid
+        self.input_range = input_range
         self._clock = clock
         self._sessions: Dict[str, Session] = {}
         self._lock = threading.Lock()
@@ -105,6 +151,7 @@ class SessionManager:
             window=int(window) if window is not None else self.default_window,
             num_classes=int(num_classes) if num_classes is not None else self.num_classes,
             now=self._clock(),
+            guard=make_guard(self.on_invalid, self.input_range),
         )
         with self._lock:
             self._sessions[session.id] = session
@@ -163,3 +210,8 @@ class SessionManager:
     def ids(self) -> List[str]:
         with self._lock:
             return list(self._sessions)
+
+    def snapshot(self) -> List[Session]:
+        """Live sessions at this instant (for the health metrics renderer)."""
+        with self._lock:
+            return list(self._sessions.values())

@@ -107,6 +107,27 @@ class TestTransforms:
         std = Standardizer.fit(np.ones((4, 1, 8, 8)))
         assert std.std == 1.0
 
+    def test_degenerate_standardizer_returns_zeros(self):
+        # A stuck sensor can produce std == 0 (or a hand-built transform can
+        # carry a non-finite std); the output must be zeros, never NaN/Inf.
+        frames = 21.5 * np.ones((3, 1, 8, 8))
+        for bad in (0.0, 1e-300, np.nan, np.inf):
+            out = Standardizer(mean=21.5, std=bad)(frames)
+            assert np.array_equal(out, np.zeros_like(frames))
+            assert np.isfinite(out).all()
+
+    def test_degenerate_minmax_returns_zeros(self):
+        frames = 21.5 * np.ones((3, 1, 8, 8))
+        fitted = MinMaxNormalizer.fit(frames)  # zero-span range
+        for norm in (
+            fitted,
+            MinMaxNormalizer(minimum=2.0, maximum=2.0),
+            MinMaxNormalizer(minimum=0.0, maximum=np.inf),
+        ):
+            out = norm(frames)
+            assert np.array_equal(out, np.zeros_like(frames))
+            assert np.isfinite(out).all()
+
     def test_minmax(self, tiny_dataset):
         frames = tiny_dataset.session(2).frames
         norm = MinMaxNormalizer.fit(frames)

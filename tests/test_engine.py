@@ -387,3 +387,184 @@ class TestFlowStage4:
         report = result.deploy(fp, frames)
         assert set(report.entries) == {"STM32", "IBEX", "MAUPITI"}
         assert report.improvement("code_bytes") > 1.0
+
+
+class TestInputGuard:
+    """Input-validation policies: reject / clamp / hold_last."""
+
+    def _bad_frames(self):
+        frames = np.full((4, 1, 8, 8), 20.0)
+        frames[1, 0, 0, 0] = np.nan
+        frames[3, 0, 2, 2] = np.inf
+        return frames
+
+    def test_unknown_policy_rejected(self):
+        from repro.engine import InputGuard
+
+        with pytest.raises(EngineError, match="policy"):
+            InputGuard("discard")
+
+    def test_bad_range_rejected(self):
+        from repro.engine import InputGuard
+
+        with pytest.raises(EngineError, match="range"):
+            InputGuard("clamp", input_range=(5.0, 5.0))
+
+    def test_clean_frames_pass_through_unchanged(self):
+        from repro.engine import InputGuard
+
+        guard = InputGuard("reject")
+        frames = np.full((3, 1, 8, 8), 21.0)
+        assert guard.apply(frames) is frames  # zero-copy clean path
+        assert guard.health.invalid_frames == 0
+        assert guard.health.frames_seen == 3
+
+    def test_reject_raises_with_offending_indices(self):
+        from repro.engine import InputGuard, InvalidFrameError
+
+        guard = InputGuard("reject")
+        with pytest.raises(InvalidFrameError, match=r"\[1, 3\]"):
+            guard.apply(self._bad_frames())
+
+    def test_clamp_zeroes_nonfinite_and_clips_range(self):
+        from repro.engine import InputGuard
+
+        guard = InputGuard("clamp", input_range=(0.0, 40.0))
+        frames = self._bad_frames()
+        frames[0, 0, 0, 0] = 99.0
+        out = guard.apply(frames)
+        assert np.isfinite(out).all()
+        assert out[1, 0, 0, 0] == 0.0
+        assert out[3, 0, 2, 2] == 0.0
+        assert out[0, 0, 0, 0] == 40.0
+        assert guard.health.invalid_frames == 3
+
+    def test_hold_last_repeats_last_valid_frame(self):
+        from repro.engine import InputGuard
+
+        guard = InputGuard("hold_last")
+        frames = self._bad_frames()
+        out = guard.apply(frames)
+        np.testing.assert_array_equal(out[1], frames[0])
+        np.testing.assert_array_equal(out[3], frames[2])
+
+    def test_hold_last_with_no_prior_valid_frame_zeroes(self):
+        from repro.engine import InputGuard
+
+        guard = InputGuard("hold_last")
+        frames = np.full((2, 1, 8, 8), np.nan)
+        out = guard.apply(frames)
+        assert (out == 0.0).all()
+
+    def test_make_guard_none_policy(self):
+        from repro.engine import make_guard
+
+        assert make_guard(None, None) is None
+        assert make_guard("clamp", (0.0, 1.0)).policy == "clamp"
+
+    def test_engine_reject_policy_on_predict_batch(
+        self, trained_small_model, prepared_data
+    ):
+        from repro.engine import InvalidFrameError
+
+        engine = repro.compile(
+            trained_small_model, target="numpy-float", on_invalid="reject"
+        )
+        frames = prepared_data["test"].inputs[:4].copy()
+        engine.predict_batch(frames)  # clean frames: unaffected
+        frames[2] = np.nan
+        with pytest.raises(InvalidFrameError):
+            engine.predict_batch(frames)
+        with pytest.raises(InvalidFrameError):
+            engine.predict(frames[2])
+
+    def test_engine_clamp_policy_repairs_before_inference(
+        self, trained_small_model, prepared_data
+    ):
+        engine = repro.compile(
+            trained_small_model, target="numpy-float", on_invalid="clamp"
+        )
+        clean = prepared_data["test"].inputs[:4]
+        broken = clean.copy()
+        broken[1] = np.nan  # clamps to all-zero
+        zeroed = clean.copy()
+        zeroed[1] = 0.0
+        plain = repro.compile(trained_small_model, target="numpy-float")
+        np.testing.assert_array_equal(
+            engine.predict_batch(broken).predictions,
+            plain.predict_batch(zeroed).predictions,
+        )
+
+    def test_default_engine_has_no_guard(self, trained_small_model, prepared_data):
+        # No policy configured: non-finite frames flow to the backend
+        # untouched (historical behavior, bit-identical fault-free path).
+        engine = repro.compile(trained_small_model, target="numpy-float")
+        frames = prepared_data["test"].inputs[:2].copy()
+        frames[0] = np.nan
+        engine.predict_batch(frames)  # must not raise
+
+
+class TestStreamHealth:
+    """Per-stream health: invalid-frame counters and vote margins."""
+
+    def test_stream_inherits_engine_policy_and_counts(
+        self, trained_small_model, prepared_data
+    ):
+        engine = repro.compile(
+            trained_small_model, target="numpy-float", on_invalid="hold_last"
+        )
+        frames = prepared_data["test"].inputs[:5].copy()
+        frames[2] = np.inf
+        with engine.stream(window=3) as session:
+            for frame in frames:
+                session.push(frame)
+            health = session.health()
+            summary = session.summary()
+        assert health.frames == 5
+        assert health.invalid_frames == 1
+        assert health.invalid_fraction == pytest.approx(0.2)
+        assert summary.health.invalid_frames == 1
+        # hold_last: frame 2 repeated frame 1, so raws 1 and 2 agree.
+        assert summary.raw_predictions[2] == summary.raw_predictions[1]
+
+    def test_stream_override_disables_engine_policy(
+        self, trained_small_model, prepared_data
+    ):
+        engine = repro.compile(
+            trained_small_model, target="numpy-float", on_invalid="reject"
+        )
+        frames = prepared_data["test"].inputs[:2].copy()
+        frames[1] = np.nan
+        with engine.stream(window=3, on_invalid=None) as session:
+            for frame in frames:
+                session.push(frame)  # must not raise: override wins
+            assert session.health().invalid_frames == 0
+
+    def test_margin_tracks_vote_confidence(self):
+        from repro.engine import StreamSession
+
+        session = StreamSession(_ScriptedBackend([1, 1, 0, 0, 0]), window=3)
+        frame = np.zeros((1, 8, 8))
+        with session:
+            margins = [session.push(frame).margin for _ in range(5)]
+            health = session.health()
+        # [1] unanimous; [1,1] unanimous; [1,1,0] 2-1; [1,0,0] 2-1; [0,0,0].
+        assert margins == pytest.approx([1.0, 1.0, 1 / 3, 1 / 3, 1.0])
+        assert health.last_margin == pytest.approx(1.0)
+        assert health.min_margin == pytest.approx(1 / 3)
+        assert health.mean_margin == pytest.approx(np.mean(margins))
+
+    def test_reentered_session_resets_health(self):
+        from repro.engine import StreamSession
+
+        session = StreamSession(_ScriptedBackend([1, 0, 1, 1]), window=2)
+        frame = np.zeros((1, 8, 8))
+        with session:
+            session.push(frame)
+            session.push(frame)
+        with session:
+            session.push(frame)
+            session.push(frame)
+            health = session.health()
+        assert health.frames == 2
+        assert health.mean_margin == pytest.approx(1.0)  # [1], [1,1]

@@ -1,0 +1,290 @@
+"""The repro.faults subsystem: registry, models, injectors.
+
+The three contracts every registered fault model must honor (replay
+determinism, chunk invariance, severity-0 identity) are property-tested by
+hypothesis, so every failure is replayable from the printed example.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.faults import (
+    DeadPixels,
+    FaultError,
+    FaultInjectingClient,
+    FaultModel,
+    FaultPipeline,
+    FrameDrop,
+    StreamInjector,
+    StuckPixels,
+    available_faults,
+    build_fault,
+    fault_table,
+    get_fault,
+    make_faulted_variant,
+    register_fault,
+    unregister_fault,
+    wrap_stream,
+)
+
+ALL_FAULTS = available_faults()
+
+
+def _frames(data_seed: int, n: int, channel: bool = False) -> np.ndarray:
+    """A deterministic stream of plausible (Celsius-range) 8x8 frames."""
+    rng = np.random.default_rng(data_seed)
+    shape = (n, 1, 8, 8) if channel else (n, 8, 8)
+    return 20.0 + 8.0 * rng.random(shape)
+
+
+class TestProperties:
+    @given(
+        name=st.sampled_from(ALL_FAULTS),
+        severity=st.floats(0.05, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+        data_seed=st.integers(0, 2**31 - 1),
+        n=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replay_is_bit_identical(self, name, severity, seed, data_seed, n):
+        frames = _frames(data_seed, n)
+        fault = build_fault(name, severity)
+        a = fault.apply(frames, seed=np.random.SeedSequence(seed))
+        b = fault.apply(frames, seed=np.random.SeedSequence(seed))
+        assert a.tobytes() == b.tobytes()
+
+    @given(
+        name=st.sampled_from(ALL_FAULTS),
+        severity=st.floats(0.0, 1.0),
+        dtype=st.sampled_from([np.float32, np.float64]),
+        channel=st.booleans(),
+        n=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shape_and_dtype_preserved(self, name, severity, dtype, channel, n):
+        frames = _frames(0, n, channel).astype(dtype)
+        out = build_fault(name, severity).apply(frames, seed=7)
+        assert out.shape == frames.shape
+        assert out.dtype == frames.dtype
+
+    @given(
+        name=st.sampled_from(ALL_FAULTS),
+        data_seed=st.integers(0, 2**31 - 1),
+        n=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_severity_zero_is_identity(self, name, data_seed, n):
+        frames = _frames(data_seed, n)
+        out = build_fault(name, 0.0).apply(frames, seed=3)
+        assert out.tobytes() == frames.tobytes()
+        assert out is not frames  # still a private copy
+
+    @given(
+        name=st.sampled_from(ALL_FAULTS),
+        severity=st.floats(0.05, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(2, 12),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chunk_invariance(self, name, severity, seed, n, data):
+        """Any split of the stream equals the whole-array application."""
+        frames = _frames(seed ^ 0x5EED, n)
+        fault = build_fault(name, severity)
+        whole = fault.apply(frames, seed=np.random.SeedSequence(seed))
+        cuts = sorted(
+            data.draw(st.lists(st.integers(0, n), max_size=3, unique=True))
+        )
+        state = fault.state(np.random.SeedSequence(seed))
+        pieces = []
+        for lo, hi in zip([0, *cuts], [*cuts, n]):
+            if hi > lo:
+                pieces.append(fault.apply(frames[lo:hi], state))
+        chunked = np.concatenate(pieces)
+        assert chunked.tobytes() == whole.tobytes()
+
+
+class TestRegistry:
+    def test_builtin_faults_present(self):
+        assert {
+            "dead-pixels", "stuck-pixels", "gaussian-noise", "salt-pepper",
+            "ambient-drift", "gain-drift", "frame-drop", "burst-dropout",
+            "sensor-reset",
+        } <= set(ALL_FAULTS)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_fault("DEAD-pixels").fault_cls is DeadPixels
+
+    def test_unknown_fault_lists_alternatives(self):
+        with pytest.raises(FaultError, match="dead-pixels"):
+            get_fault("cosmic-rays")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(FaultError, match="severity"):
+            build_fault("gaussian-noise", 1.5)
+
+    def test_register_unregister_roundtrip(self):
+        @register_fault("test-null", description="does nothing", aliases=("tn",))
+        class NullFault(FaultModel):
+            def _apply_frame(self, frame, rng, state):
+                return frame
+
+        try:
+            assert get_fault("tn").fault_cls is NullFault
+            assert isinstance(build_fault("test-null", 0.5), NullFault)
+        finally:
+            unregister_fault("test-null")
+        with pytest.raises(FaultError):
+            get_fault("test-null")
+        with pytest.raises(FaultError):
+            get_fault("tn")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault("dead-pixels")(type("Dup", (FaultModel,), {}))
+
+    def test_fault_table_mentions_every_fault(self):
+        table = fault_table()
+        for name in ALL_FAULTS:
+            assert name in table
+
+    def test_temporal_flag(self):
+        assert get_fault("ambient-drift").temporal
+        assert not get_fault("gaussian-noise").temporal
+
+
+class TestModels:
+    def test_bad_frame_rank_rejected(self):
+        with pytest.raises(FaultError, match="frames"):
+            DeadPixels(0.5).apply(np.zeros((8, 8)))
+
+    def test_dead_pixels_read_the_constant(self):
+        frames = _frames(1, 6)
+        fault = DeadPixels(1.0, max_fraction=0.25, value=-5.0)
+        out = fault.apply(frames, seed=2)
+        dead = np.isclose(out, -5.0).reshape(6, -1)
+        # The same (nonzero) pixel set is dead in every frame.
+        assert dead[0].sum() == round(0.25 * 64)
+        assert (dead == dead[0]).all()
+
+    def test_stuck_pixels_latch_first_observation(self):
+        frames = _frames(2, 5)
+        fault = StuckPixels(1.0, max_fraction=0.1)
+        state = fault.state(seed=3)
+        out = fault.apply(frames, state)
+        mask = state.extra["mask"]
+        flat = out.reshape(5, -1)
+        first = frames.reshape(5, -1)[0, mask]
+        assert np.array_equal(flat[:, mask], np.tile(first, (5, 1)))
+
+    def test_frame_drop_repeats_last_delivery(self):
+        frames = _frames(3, 6)
+        fault = FrameDrop(1.0, max_rate=1.0)  # every frame dropped
+        out = fault.apply(frames, seed=4)
+        # Nothing precedes frame 0, so it passes through; everything after
+        # repeats it — the stream length (and label alignment) is preserved.
+        assert np.array_equal(out, np.tile(frames[0], (6, 1, 1)))
+
+    def test_pipeline_composes_in_order(self):
+        from repro.faults import FaultState
+
+        frames = _frames(4, 4)
+        dead = DeadPixels(1.0, value=99.0)
+        drop = FrameDrop(0.8)
+        pipe = FaultPipeline([dead, drop])
+        out = pipe.apply(frames, pipe.state(seed=5))
+        # A pipeline is exactly the sequential application of its members,
+        # each seeded from one spawn of the shared root.
+        children = np.random.SeedSequence(5).spawn(2)
+        manual = drop.apply(
+            dead.apply(frames, FaultState(seed_seq=children[0])),
+            FaultState(seed_seq=children[1]),
+        )
+        assert out.tobytes() == manual.tobytes()
+        assert (out == 99.0).any()
+
+    def test_pipeline_is_replayable(self):
+        frames = _frames(5, 8)
+        pipe = FaultPipeline([DeadPixels(0.5), FrameDrop(0.7)])
+        a = pipe.apply(frames, pipe.state(seed=6))
+        b = pipe.apply(frames, pipe.state(seed=6))
+        assert a.tobytes() == b.tobytes()
+
+    def test_pipeline_rejects_non_faults(self):
+        with pytest.raises(FaultError, match="not a FaultModel"):
+            FaultPipeline([DeadPixels(0.5), "gaussian-noise"])
+
+
+class TestInjectors:
+    def test_stream_injector_matches_offline(self):
+        frames = _frames(6, 10)
+        offline = build_fault("gaussian-noise", 0.4).apply(
+            frames, seed=np.random.SeedSequence(11)
+        )
+        injector = StreamInjector("gaussian-noise", 0.4, seed=np.random.SeedSequence(11))
+        online = np.concatenate([injector(frames[i : i + 1]) for i in range(10)])
+        assert online.tobytes() == offline.tobytes()
+        assert injector.frames_seen == 10
+
+    def test_injector_reset_replays(self):
+        frames = _frames(7, 5)
+        injector = StreamInjector("salt-pepper", 0.6, seed=8)
+        first = injector(frames)
+        injector.reset()
+        assert injector.frames_seen == 0
+        assert injector(frames).tobytes() == first.tobytes()
+
+    def test_injector_requires_severity_for_names(self):
+        with pytest.raises(ValueError, match="severity"):
+            StreamInjector("gaussian-noise")
+
+    def test_wrap_stream_matches_offline_replay(self, quantized_model, prepared_data):
+        engine = repro.compile(quantized_model, target="int-golden")
+        frames = prepared_data["test"].inputs[:12]
+        faulted = build_fault("dead-pixels", 0.8).apply(
+            frames, seed=np.random.SeedSequence(9)
+        )
+        with engine.stream(window=3) as session:
+            for frame in faulted:
+                session.push(frame)
+            offline = session.summary()
+        with wrap_stream(
+            engine.stream(window=3), "dead-pixels", 0.8,
+            seed=np.random.SeedSequence(9),
+        ) as faulty:
+            for frame in frames:
+                faulty.push(frame)
+            online = faulty.summary()
+        assert np.array_equal(online.raw_predictions, offline.raw_predictions)
+        assert np.array_equal(online.voted_predictions, offline.voted_predictions)
+
+    def test_fault_injecting_client_intercepts_both_signatures(self):
+        pushes = []
+
+        class FakeClient:
+            def push(self, *args):
+                pushes.append(args)
+                return {"results": []}
+
+            def close(self):
+                pass
+
+        frames = _frames(8, 4, channel=True)  # (N, 1, 8, 8) chunks
+        offline = build_fault("gaussian-noise", 0.3).apply(frames, seed=0)
+        with FaultInjectingClient(FakeClient(), "gaussian-noise", 0.3) as client:
+            client.push("sid", frames[:2])  # ServeClient style
+            client.push(frames[2:])  # SessionStream style
+        assert pushes[0][0] == "sid"
+        sent = np.concatenate([np.asarray(pushes[0][1]), np.asarray(pushes[1][0])])
+        assert sent.tobytes() == offline.tobytes()
+
+    def test_make_faulted_variant_keeps_length(self):
+        frames = _frames(9, 7)
+        out = make_faulted_variant(frames, "burst-dropout", 1.0, seed=1)
+        assert out.shape == frames.shape
+        assert out.tobytes() == make_faulted_variant(
+            frames, "burst-dropout", 1.0, seed=1
+        ).tobytes()

@@ -294,6 +294,68 @@ class TestShmRing:
         finally:
             ring.close()
 
+    def test_exact_fit_at_ring_end_does_not_wrap(self):
+        ring = self._ring(100)
+        try:
+            _, end1 = ring.write(b"a" * 60)
+            ring.release(end1)
+            # 40 bytes remain before the physical end; a 40-byte payload
+            # fits exactly and must land there with no skip accounted.
+            pos, end = ring.write(b"b" * 40, timeout=0.0)
+            assert pos == 60
+            assert end == 100  # no skip: cursors advance by payload only
+            assert bytes(ring.view(pos, 40)) == b"b" * 40
+            ring.release(end)
+            assert ring.head == ring.tail == 100
+        finally:
+            ring.close()
+
+    def test_maximal_frame_after_wraparound_skip(self):
+        # Regression: a capacity-sized payload written when the ring is
+        # empty but head is mid-buffer needs skip + n > capacity, which the
+        # plain fit condition can never satisfy — the write used to poll
+        # forever (or raise RingFull with a timeout) despite the ring
+        # holding zero unconsumed bytes.
+        ring = self._ring(100)
+        try:
+            _, end1 = ring.write(b"a" * 60)
+            ring.release(end1)  # ring empty, head parked at 60
+            payload = bytes((i % 251 for i in range(100)))
+            pos, end = ring.write(payload, timeout=0.5)
+            assert pos == 0  # skipped the 40-byte tail fragment
+            assert end == 60 + 40 + 100
+            assert bytes(ring.view(pos, 100)) == payload
+            assert ring.occupancy() == 1.0  # clamped despite skip overhang
+            ring.release(end)
+            assert ring.head == ring.tail
+            # The ring keeps working normally afterwards.
+            pos2, end2 = ring.write(b"c" * 10, timeout=0.0)
+            assert bytes(ring.view(pos2, 10)) == b"c" * 10
+            ring.release(end2)
+        finally:
+            ring.close()
+
+    def test_near_maximal_frame_after_skip_still_blocks_when_occupied(self):
+        # The empty-ring clause must NOT fire while unconsumed bytes exist:
+        # the same oversized-window write with data in flight stays a
+        # RingFull, not a corruption.
+        from repro.parallel import RingFull
+
+        ring = self._ring(100)
+        try:
+            _, end1 = ring.write(b"a" * 60)
+            ring.release(end1)
+            _, end2 = ring.write(b"b" * 30)  # head at 90, 30 bytes in flight
+            with pytest.raises(RingFull):
+                ring.write(b"c" * 95, timeout=0.0)
+            ring.release(end2)  # drain; now the oversized window is legal
+            pos, end3 = ring.write(b"c" * 95, timeout=0.5)
+            assert pos == 0
+            assert bytes(ring.view(pos, 95)) == b"c" * 95
+            ring.release(end3)
+        finally:
+            ring.close()
+
     def test_close_unlinks_owner_block(self):
         ring = self._ring(32)
         name = ring.name

@@ -929,3 +929,289 @@ class TestDegenerateBatcherConfig:
         # (immediately expired) deadline: a small constant per frame.
         assert clock_calls[0] <= 4 * n + 4, f"{clock_calls[0]} clock reads for {n} frames"
         assert engine.batch_sizes == [1] * n
+
+
+# --------------------------------------------------------------------- #
+class _FakeResponse:
+    def __init__(self, status=200, payload=None, headers=None):
+        self.status = status
+        self._payload = json.dumps(payload or {}).encode()
+        self._headers = {"Content-Type": "application/json", **(headers or {})}
+
+    def read(self):
+        return self._payload
+
+    def getheader(self, name, default=None):
+        return self._headers.get(name, default)
+
+
+class _FakeConnection:
+    """Scripted http.client stand-in: each entry is a response or an error."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sock = object()  # pretend already connected
+        self.requests = []
+
+    def request(self, method, path, body=None, headers=None):
+        self.requests.append((method, path))
+
+    def getresponse(self):
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    def close(self):
+        self.sock = None
+
+
+class TestClientTransport:
+    """The double-submit fix: drops mid-exchange are never blindly replayed."""
+
+    def _client_with(self, conns):
+        from repro.serve import ServeClient
+
+        client = ServeClient()
+        conns = list(conns)
+        client._connection = lambda: conns.pop(0)
+        return client
+
+    def test_post_drop_mid_exchange_is_not_resent(self):
+        from repro.serve import ConnectionDroppedError
+
+        conn = _FakeConnection([ConnectionResetError("stale keep-alive")])
+        client = self._client_with([conn])
+        with pytest.raises(ConnectionDroppedError) as info:
+            client._request("POST", "/v1/sessions/abc/frames", {"frames": []})
+        assert info.value.request_sent  # ambiguous: may have been processed
+        assert len(conn.requests) == 1  # exactly one attempt — no blind replay
+
+    def test_get_drop_is_replayed_once(self):
+        dead = _FakeConnection([ConnectionResetError("stale keep-alive")])
+        alive = _FakeConnection([_FakeResponse(payload={"status": "ok"})])
+        client = self._client_with([dead, alive])
+        assert client._request("GET", "/healthz") == {"status": "ok"}
+        assert len(dead.requests) == 1 and len(alive.requests) == 1
+
+    def test_connect_failure_is_verifiably_unsent(self):
+        import socket
+
+        from repro.serve import ConnectionDroppedError, ServeClient
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with ServeClient("127.0.0.1", port, timeout=2.0) as client:
+            with pytest.raises(ConnectionDroppedError) as info:
+                client.healthz()
+        assert not info.value.request_sent
+
+    def test_retry_after_header_is_surfaced(self):
+        from repro.serve import OverloadedError
+
+        conn = _FakeConnection(
+            [
+                _FakeResponse(
+                    status=429,
+                    payload={"error": "overloaded", "detail": "full"},
+                    headers={"Retry-After": "0.25"},
+                )
+            ]
+        )
+        client = self._client_with([conn])
+        with pytest.raises(OverloadedError) as info:
+            client._request("GET", "/healthz")
+        assert info.value.retry_after == 0.25
+
+
+class TestRetryPolicy:
+    def test_retriable_classification(self):
+        from repro.serve import (
+            ConnectionDroppedError,
+            RetryPolicy,
+            WorkerCrashedError,
+        )
+
+        policy = RetryPolicy()
+        assert policy.retriable(OverloadedError("full"))
+        assert policy.retriable(WorkerCrashedError("gone"))
+        assert policy.retriable(ConnectionDroppedError("x", request_sent=False))
+        assert not policy.retriable(ConnectionDroppedError("x", request_sent=True))
+        assert not policy.retriable(UnknownSessionError("gone"))
+
+    def test_delay_exponential_and_capped(self):
+        from repro.serve import RetryPolicy
+
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(5) == pytest.approx(0.5)  # capped
+
+    def test_retry_after_is_a_lower_bound(self):
+        from repro.serve import RetryPolicy
+
+        policy = RetryPolicy(backoff_base_s=0.01, backoff_max_s=1.0, jitter=0.0)
+        assert policy.delay(0, retry_after=0.3) == pytest.approx(0.3)
+        assert policy.delay(0, retry_after=5.0) == pytest.approx(1.0)  # capped
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        from repro.serve import RetryPolicy
+
+        a = [RetryPolicy(seed=3).delay(i) for i in range(4)]
+        b = [RetryPolicy(seed=3).delay(i) for i in range(4)]
+        assert a == b
+        assert a != [RetryPolicy(seed=4).delay(i) for i in range(4)]
+
+    def test_max_attempts_validated(self):
+        from repro.serve import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_client_absorbs_retriable_errors(self, monkeypatch):
+        from repro.serve import RetryPolicy, ServeClient
+
+        client = ServeClient(
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.001, seed=0)
+        )
+        calls = {"n": 0}
+
+        def flaky(method, path, payload):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OverloadedError("busy")
+            return {"ok": True}
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert calls["n"] == 3
+
+    def test_client_without_policy_raises_first_error(self, monkeypatch):
+        client = ServeClient()
+
+        def always_busy(method, path, payload):
+            raise OverloadedError("busy")
+
+        monkeypatch.setattr(client, "_request_once", always_busy)
+        with pytest.raises(OverloadedError):
+            client._request("GET", "/healthz")
+
+
+class TestServeInputGuard:
+    """on_invalid policies and per-session health over the HTTP front-end."""
+
+    def _server(self, **knobs):
+        return start_server(FakeEngine(), config=ServeConfig(max_batch=8, **knobs))
+
+    def test_reject_policy_maps_to_http_400(self):
+        from repro.serve import InvalidFramesError
+
+        with self._server(on_invalid="reject") as server:
+            with ServeClient(server.host, server.port) as client:
+                opened = client.open_session(window=3)
+                assert opened["config"]["on_invalid"] == "reject"
+                sid = opened["session_id"]
+                frames = encode_frames([1, 2])
+                frames[1, 0, 0, 0] = np.nan
+                with pytest.raises(InvalidFramesError):
+                    client.push(sid, frames)
+                # Clean frames still flow after the rejection.
+                out = client.push(sid, encode_frames([1]))
+                assert out["results"][0]["raw"] == 1
+
+    def test_clamp_policy_repairs_and_counts(self):
+        with self._server(on_invalid="clamp") as server:
+            with ServeClient(server.host, server.port) as client:
+                sid = client.open_session(window=3)["session_id"]
+                frames = encode_frames([2, 3])
+                frames[0] = np.nan  # clamps to zeros -> class 0
+                out = client.push(sid, frames)
+                assert [r["raw"] for r in out["results"]] == [0, 3]
+                text = client.metrics()
+                assert f'repro_serve_session_invalid_fraction{{session="{sid}"}} 0.5' in text
+                assert f'repro_serve_session_vote_margin{{session="{sid}"}}' in text
+                closed = client.close_session(sid)
+                assert closed["invalid_frames"] == 1
+                assert closed["vote_margin"] == 0.0  # FIFO [0, 3]: a tie
+
+    def test_default_config_stays_bit_identical(self):
+        # No policy: the config payload gains no key and no per-session
+        # gauges leak into /metrics beyond the (guard-less) fraction series.
+        with self._server() as server:
+            with ServeClient(server.host, server.port) as client:
+                opened = client.open_session(window=3)
+                assert "on_invalid" not in opened["config"]
+                assert "invalid_frames" not in client.close_session(
+                    opened["session_id"]
+                )
+
+
+class TestSessionStream:
+    """Transparent session recovery over the single-process server."""
+
+    def test_matches_offline_voting(self):
+        from repro.serve import SessionStream
+
+        values = [1, 1, 3, 1, 2, 2, 0, 2, 1, 1]
+        with start_server(FakeEngine(), max_batch=8) as server:
+            with ServeClient(server.host, server.port) as client:
+                with SessionStream(client, window=3) as stream:
+                    voted = []
+                    for i in range(0, len(values), 2):
+                        out = stream.push(encode_frames(values[i : i + 2]))
+                        voted.extend(r["voted"] for r in out)
+        assert voted == majority_filter(values, window=3).tolist()
+        assert stream.frames_acked == len(values)
+        assert stream.recoveries == 0
+
+    def test_recovers_from_purged_session(self):
+        from repro.serve import SessionStream
+
+        values = [1, 1, 3, 1, 2, 2, 0, 2, 1, 1]
+        with start_server(FakeEngine(), max_batch=8) as server:
+            with ServeClient(server.host, server.port) as client:
+                with SessionStream(client, window=3, recovery_backoff_s=0.0) as stream:
+                    voted = []
+                    for i in range(0, len(values), 2):
+                        if i == 4:  # a TTL purge / worker crash, externally
+                            with ServeClient(server.host, server.port) as saboteur:
+                                saboteur.close_session(stream.session_id)
+                        out = stream.push(encode_frames(values[i : i + 2]))
+                        voted.extend(r["voted"] for r in out)
+        # The warm tail replay rebuilt the majority FIFO, so the voted
+        # stream is bit-identical to an uninterrupted offline filter.
+        assert voted == majority_filter(values, window=3).tolist()
+        assert stream.recoveries == 1
+
+    def test_gives_up_after_max_recoveries(self):
+        from repro.serve import SessionStream
+
+        with start_server(FakeEngine(), max_batch=8) as server:
+            with ServeClient(server.host, server.port) as client:
+                stream = SessionStream(client, window=3, max_recoveries=2,
+                                       recovery_backoff_s=0.0)
+                stream.open()
+                real_push = client.push
+
+                def poisoned(sid, frames):
+                    raise UnknownSessionError("always purged")
+
+                client.push = poisoned
+                try:
+                    with pytest.raises(UnknownSessionError):
+                        stream.push(encode_frames([1]))
+                finally:
+                    client.push = real_push
+
+    def test_close_is_idempotent(self):
+        from repro.serve import SessionStream
+
+        with start_server(FakeEngine(), max_batch=8) as server:
+            with ServeClient(server.host, server.port) as client:
+                stream = SessionStream(client, window=3)
+                stream.open()
+                stream.push(encode_frames([1]))
+                assert stream.close()["frames_seen"] == 1
+                assert stream.close() == {}

@@ -427,3 +427,77 @@ class TestPoolTtlEviction:
             assert sid not in handle.sessions
         finally:
             service.stop()
+
+
+# --------------------------------------------------------------------- #
+class TestChaosRecovery:
+    """ISSUE acceptance: a ChaosConfig-killed worker mid-stream is invisible
+    to a retrying SessionStream client — the stream completes and its
+    outputs are bit-identical to a fault-free offline replay."""
+
+    def test_chaos_kill_is_invisible_to_session_stream(
+        self, pool_engine, pool_frames
+    ):
+        from repro.serve import ChaosConfig, RetryPolicy, SessionStream
+
+        window, chunk = 3, 4
+        frames = pool_frames[:24]
+        offline = _offline_stream(pool_engine, frames, window)
+        config = ServeConfig(
+            workers=2, max_batch=8, max_wait_ms=1.0,
+            chaos=ChaosConfig(kill_after_frames=10, max_kills=1),
+        )
+        with start_server(pool_engine, config=config) as server:
+            with ServeClient(
+                server.host, server.port, timeout=60,
+                retry=RetryPolicy(max_attempts=6, backoff_base_s=0.01, seed=0),
+            ) as client:
+                raw, voted = [], []
+                with SessionStream(
+                    client, window=window, recovery_backoff_s=0.01
+                ) as stream:
+                    for i in range(0, len(frames), chunk):
+                        out = stream.push(frames[i : i + chunk])
+                        raw.extend(r["raw"] for r in out)
+                        voted.extend(r["voted"] for r in out)
+            stats = server.service.pool_stats()
+        assert stats["chaos_kills"] == 1
+        assert stats["crashes_total"] >= 1
+        assert stream.recoveries >= 1  # the crash was absorbed, not surfaced
+        assert raw == offline["raw"]
+        assert voted == offline["voted"]
+
+    def test_chaos_reject_simulates_ring_backpressure(
+        self, pool_engine, pool_frames
+    ):
+        from repro.serve import ChaosConfig, RetryPolicy
+
+        config = ServeConfig(
+            workers=1, max_batch=8, max_wait_ms=1.0,
+            chaos=ChaosConfig(reject_every=2),
+        )
+        with start_server(pool_engine, config=config) as server:
+            with ServeClient(
+                server.host, server.port, timeout=60,
+                retry=RetryPolicy(max_attempts=5, backoff_base_s=0.01, seed=0),
+            ) as client:
+                sid = client.open_session(window=3)["session_id"]
+                # Every other submit 429s; the retry policy absorbs them all.
+                for i in range(4):
+                    out = client.push(sid, pool_frames[i : i + 1])
+                    assert len(out["results"]) == 1
+                client.close_session(sid)
+
+    def test_chaos_off_keeps_pool_stats_clean(self, pool_engine, pool_frames):
+        service = PoolServeService(
+            pool_engine, ServeConfig(workers=1, max_batch=8, max_wait_ms=1.0)
+        )
+        service.start()
+        try:
+            sid = service.open_session(window=3)["session_id"]
+            service.submit_frames(sid, pool_frames[:2]).future.result(timeout=60)
+            stats = service.pool_stats()
+            assert stats["chaos_kills"] == 0
+            assert stats["crashes_total"] == 0
+        finally:
+            service.stop()
